@@ -1,0 +1,178 @@
+//! Microbenchmarks of the simulation substrate's hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netstack::pcap::Direction;
+use netstack::{IpAddr, IpPacket, Proto, SocketAddr, TcpConfig, TcpFlags, TcpHeader, TcpSocket};
+use qoe_doctor::analyze::crosslayer::long_jump_map;
+use radio::qxdm::{Qxdm, QxdmConfig};
+use radio::rlc::{RlcChannel, RlcConfig};
+use simcore::{DetRng, EventQueue, SimTime};
+
+fn addr(last: u8, port: u16) -> SocketAddr {
+    SocketAddr::new(IpAddr::new(10, 0, 0, last), port)
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_micros((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+    g.finish();
+}
+
+fn bench_tcp_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netstack");
+    g.throughput(Throughput::Bytes(1_000_000));
+    g.bench_function("tcp_transfer_1mb_lossless", |b| {
+        b.iter(|| {
+            let mut client = TcpSocket::connect(addr(1, 40000), addr(2, 80), TcpConfig::default());
+            let mut server =
+                TcpSocket::accept_from_syn(addr(2, 80), addr(1, 40000), TcpConfig::default());
+            client.send(1_000_000);
+            let mut id = 0u64;
+            let now = SimTime::ZERO;
+            loop {
+                let mut next_id = || {
+                    id += 1;
+                    id
+                };
+                let mut a = Vec::new();
+                client.poll(now, &mut next_id, &mut a);
+                let mut b2 = Vec::new();
+                server.poll(now, &mut next_id, &mut b2);
+                if a.is_empty() && b2.is_empty() {
+                    break;
+                }
+                for p in a {
+                    server.on_packet(&p, now);
+                }
+                for p in b2 {
+                    client.on_packet(&p, now);
+                }
+            }
+            server.total_received()
+        })
+    });
+    g.finish();
+}
+
+fn bulk_packet(id: u64, len: u32) -> IpPacket {
+    IpPacket {
+        id,
+        src: addr(1, 40000),
+        dst: addr(2, 443),
+        proto: Proto::Tcp,
+        tcp: Some(TcpHeader {
+            seq: 1 + id * len as u64,
+            ack: 0,
+            flags: TcpFlags { ack: true, ..Default::default() },
+        }),
+        payload_len: len,
+        udp_payload: None,
+        markers: Vec::new(),
+    }
+}
+
+fn bench_rlc_segmentation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("radio");
+    g.throughput(Throughput::Bytes(100 * 1440));
+    g.bench_function("rlc_3g_uplink_segment_100_packets", |b| {
+        b.iter(|| {
+            let mut cfg = RlcConfig::umts_uplink();
+            cfg.pdu_loss = 0.0;
+            let mut ch = RlcChannel::new(cfg, Direction::Uplink, DetRng::seed_from_u64(1));
+            for i in 0..100 {
+                ch.enqueue(bulk_packet(i, 1400), SimTime::ZERO);
+            }
+            let mut now = SimTime::ZERO;
+            let mut n = 0usize;
+            loop {
+                ch.poll(now, true, 1.6e6);
+                n += ch.take_pdu_events(now).len();
+                ch.take_status_events(now);
+                ch.take_exits(now);
+                match ch.next_wake(true) {
+                    Some(w) if w > now => now = w,
+                    Some(_) => continue,
+                    None => break,
+                }
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_long_jump_mapping(c: &mut Criterion) {
+    // Prepare a realistic log once; benchmark only the mapping walk.
+    let mut cfg = RlcConfig::umts_uplink();
+    cfg.pdu_loss = 0.0;
+    cfg.ota_jitter = 0.0;
+    let mut ch = RlcChannel::new(cfg, Direction::Uplink, DetRng::seed_from_u64(2));
+    let mut packets = Vec::new();
+    for i in 0..200u64 {
+        let pkt = bulk_packet(i, 200 + ((i * 37) % 1200) as u32);
+        packets.push((SimTime::from_micros(i), pkt.clone()));
+        ch.enqueue(pkt, SimTime::ZERO);
+    }
+    let mut qx = Qxdm::new(
+        QxdmConfig { ul_record_loss: 0.001, dl_record_loss: 0.0, log_pdus: true },
+        DetRng::seed_from_u64(3),
+    );
+    let mut now = SimTime::ZERO;
+    loop {
+        ch.poll(now, true, 1.6e6);
+        for (at, ev) in ch.take_pdu_events(now) {
+            qx.observe_pdu(at, &ev);
+        }
+        ch.take_status_events(now);
+        ch.take_exits(now);
+        match ch.next_wake(true) {
+            Some(w) if w > now => now = w,
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    let refs: Vec<(SimTime, &IpPacket)> = packets.iter().map(|(at, p)| (*at, p)).collect();
+
+    let mut g = c.benchmark_group("analyzer");
+    g.throughput(Throughput::Elements(refs.len() as u64));
+    g.bench_function("long_jump_map_200_packets", |b| {
+        b.iter(|| long_jump_map(&refs, &qx.log, Direction::Uplink).len())
+    });
+    g.finish();
+}
+
+fn bench_ui_parse(c: &mut Criterion) {
+    use device::ui::{UiTree, View};
+    let mut feed = View::new("android.widget.ListView", "news_feed");
+    for i in 0..100 {
+        feed.children.push(View::new("TextView", &format!("item{i}")).with_text("hello"));
+    }
+    let root = View::new("LinearLayout", "root").with_child(feed);
+    let ui = UiTree::new(root, DetRng::seed_from_u64(4));
+    let mut g = c.benchmark_group("device");
+    g.bench_function("ui_snapshot_100_items", |b| b.iter(|| ui.snapshot().count()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_tcp_transfer,
+    bench_rlc_segmentation,
+    bench_long_jump_mapping,
+    bench_ui_parse
+);
+criterion_main!(benches);

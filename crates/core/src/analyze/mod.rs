@@ -1,0 +1,8 @@
+//! The multi-layer QoE analyzer (§5): offline analysis of the collected
+//! artifacts, one module per layer plus the cross-layer analyses.
+
+pub mod app;
+pub mod crosslayer;
+pub mod radio;
+pub mod speedindex;
+pub mod transport;

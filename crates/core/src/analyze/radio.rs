@@ -1,0 +1,229 @@
+//! RRC/RLC layer analyzer (§5.3).
+//!
+//! From the QxDM-substitute log: RRC state residency intervals, the
+//! tail/non-tail network energy computed against the per-state power model
+//! (the Monsoon methodology of the paper's citations 22 and 34), and
+//! first-hop OTA RTT estimates
+//! from polling-PDU → STATUS-PDU pairs.
+
+use netstack::pcap::Direction;
+use radio::power::{EnergyBreakdown, PowerModel};
+use radio::qxdm::QxdmLog;
+use radio::rrc::RrcState;
+use simcore::{SimDuration, SimTime};
+
+/// One contiguous residency in an RRC state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Residency {
+    /// The state.
+    pub state: RrcState,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end.
+    pub end: SimTime,
+}
+
+impl Residency {
+    /// Length of the interval.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Reconstruct state residencies over `[start, end]` from the transition
+/// log, given the state at `start`.
+pub fn residencies(
+    log: &QxdmLog,
+    initial: RrcState,
+    start: SimTime,
+    end: SimTime,
+) -> Vec<Residency> {
+    let mut out = Vec::new();
+    let mut state = initial;
+    let mut cursor = start;
+    for (at, tr) in log.rrc.iter() {
+        if at < start {
+            state = tr.to;
+            continue;
+        }
+        if at > end {
+            break;
+        }
+        if at > cursor {
+            out.push(Residency { state, start: cursor, end: at });
+        }
+        state = tr.to;
+        cursor = at;
+    }
+    if end > cursor {
+        out.push(Residency { state, start: cursor, end });
+    }
+    out
+}
+
+/// Total time in each requested state.
+pub fn time_in(res: &[Residency], pred: impl Fn(RrcState) -> bool) -> SimDuration {
+    res.iter()
+        .filter(|r| pred(r.state))
+        .fold(SimDuration::ZERO, |acc, r| acc + r.duration())
+}
+
+/// Network energy split into tail and non-tail (definitions from the
+/// paper's citation \[34\]): within each maximal run of high-power states,
+/// the span after the last data activity is *tail*; the rest is non-tail.
+/// `activity` must be sorted (PDU record timestamps are).
+pub fn energy_breakdown(
+    res: &[Residency],
+    activity: &[SimTime],
+    pm: &PowerModel,
+) -> EnergyBreakdown {
+    let mut out = EnergyBreakdown::default();
+    // Group consecutive high-power residencies into runs.
+    let mut i = 0;
+    while i < res.len() {
+        if !res[i].state.is_high_power() {
+            i += 1;
+            continue;
+        }
+        let run_start_idx = i;
+        while i < res.len() && res[i].state.is_high_power() {
+            i += 1;
+        }
+        let run = &res[run_start_idx..i];
+        let run_start = run[0].start;
+        let run_end = run[run.len() - 1].end;
+        // Last data activity within the run (the run begins because of
+        // data, so treat the run start as activity if none is recorded).
+        let last_activity = activity
+            .iter()
+            .rev()
+            .find(|t| **t >= run_start && **t <= run_end)
+            .copied()
+            .unwrap_or(run_start);
+        for r in run {
+            let tail_from = last_activity.max(r.start);
+            let tail = r.end.saturating_since(tail_from.min(r.end));
+            let non_tail = r.duration().saturating_sub(tail);
+            out.tail_j += pm.energy_j(r.state, tail);
+            out.non_tail_j += pm.energy_j(r.state, non_tail);
+        }
+    }
+    out
+}
+
+/// First-hop OTA RTT estimates (§5.3): for each STATUS record, the time
+/// since the nearest preceding polling PDU in the same data direction.
+pub fn first_hop_ota_rtts(log: &QxdmLog, data_dir: Direction) -> Vec<(SimTime, SimDuration)> {
+    let polls: Vec<SimTime> = log
+        .pdus
+        .iter()
+        .filter(|(_, p)| p.poll && p.dir == data_dir)
+        .map(|(at, _)| at)
+        .collect();
+    let mut out = Vec::new();
+    for (at, st) in log.statuses.iter() {
+        if st.data_dir != data_dir {
+            continue;
+        }
+        // Nearest polling PDU at or before the STATUS.
+        let idx = polls.partition_point(|p| *p <= at);
+        if idx > 0 {
+            out.push((at, at.saturating_since(polls[idx - 1])));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio::qxdm::{PduRecord, StatusRecord};
+    use radio::rrc::RrcTransition;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn log_with_transitions(trs: &[(u64, RrcState, RrcState)]) -> QxdmLog {
+        let mut log = QxdmLog::default();
+        for (at, from, to) in trs {
+            log.rrc.push(t(*at), RrcTransition { from: *from, to: *to });
+        }
+        log
+    }
+
+    #[test]
+    fn residencies_reconstruct_timeline() {
+        let log = log_with_transitions(&[
+            (1_000, RrcState::Pch, RrcState::Dch),
+            (6_000, RrcState::Dch, RrcState::Fach),
+            (18_000, RrcState::Fach, RrcState::Pch),
+        ]);
+        let res = residencies(&log, RrcState::Pch, t(0), t(20_000));
+        assert_eq!(res.len(), 4);
+        assert_eq!(res[0], Residency { state: RrcState::Pch, start: t(0), end: t(1_000) });
+        assert_eq!(res[1], Residency { state: RrcState::Dch, start: t(1_000), end: t(6_000) });
+        assert_eq!(res[2], Residency { state: RrcState::Fach, start: t(6_000), end: t(18_000) });
+        assert_eq!(res[3], Residency { state: RrcState::Pch, start: t(18_000), end: t(20_000) });
+        assert_eq!(time_in(&res, |s| s == RrcState::Dch), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn energy_splits_tail_and_non_tail() {
+        let log = log_with_transitions(&[
+            (0, RrcState::Pch, RrcState::Dch),
+            (10_000, RrcState::Dch, RrcState::Pch),
+        ]);
+        let res = residencies(&log, RrcState::Pch, t(0), t(10_000));
+        // Data flowed until t = 4 s; the remaining 6 s of DCH is tail.
+        let activity = vec![t(500), t(4_000)];
+        let pm = PowerModel::default();
+        let e = energy_breakdown(&res, &activity, &pm);
+        // DCH at 800 mW: non-tail 4 s = 3.2 J, tail 6 s = 4.8 J.
+        assert!((e.non_tail_j - 3.2).abs() < 1e-9, "{e:?}");
+        assert!((e.tail_j - 4.8).abs() < 1e-9, "{e:?}");
+        assert!((e.total_j() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_with_no_activity_is_all_tail() {
+        let log = log_with_transitions(&[
+            (0, RrcState::Pch, RrcState::Fach),
+            (2_000, RrcState::Fach, RrcState::Pch),
+        ]);
+        let res = residencies(&log, RrcState::Pch, t(0), t(2_000));
+        let e = energy_breakdown(&res, &[], &PowerModel::default());
+        assert!((e.tail_j - 0.92).abs() < 1e-9, "{e:?}"); // 460 mW * 2 s
+        assert_eq!(e.non_tail_j, 0.0);
+    }
+
+    #[test]
+    fn ota_rtt_pairs_status_with_nearest_poll() {
+        let mut log = QxdmLog::default();
+        let poll = |at: u64, sn: u32| {
+            (
+                t(at),
+                PduRecord {
+                    dir: Direction::Uplink,
+                    sn,
+                    payload_len: 40,
+                    first2: [0, 0],
+                    li: None,
+                    poll: true,
+                    retransmission: false,
+                },
+            )
+        };
+        let (at, p) = poll(100, 5);
+        log.pdus.push(at, p);
+        let (at, p) = poll(300, 21);
+        log.pdus.push(at, p);
+        log.statuses.push(t(160), StatusRecord { data_dir: Direction::Uplink, acks_sn: 5 });
+        log.statuses.push(t(380), StatusRecord { data_dir: Direction::Uplink, acks_sn: 21 });
+        log.statuses.push(t(400), StatusRecord { data_dir: Direction::Downlink, acks_sn: 1 });
+        let rtts = first_hop_ota_rtts(&log, Direction::Uplink);
+        assert_eq!(rtts.len(), 2);
+        assert_eq!(rtts[0].1, SimDuration::from_millis(60));
+        assert_eq!(rtts[1].1, SimDuration::from_millis(80));
+    }
+}

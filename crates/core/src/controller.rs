@@ -1,0 +1,298 @@
+//! The QoE-aware UI controller (§4).
+//!
+//! Follows the paper's *see–interact–wait* paradigm: the controller runs in
+//! the app's process, injects UI interactions, and measures user-perceived
+//! latency by parsing the UI layout tree in a tight loop — each parse pass
+//! costs `t_parsing` of CPU, and the wait ends when the pass that observed
+//! the wait-ending UI change completes (Fig. 4). Every measurement lands in
+//! the [`AppBehaviorLog`].
+//!
+//! The controller owns the [`World`] and is the experiment's clock: it
+//! advances simulated time while interleaving its own parsing work, exactly
+//! as the real tool shares the device with the app under test.
+
+use crate::behavior::{AppBehaviorLog, BehaviorRecord, StartKind};
+use device::ui::View;
+use device::world::World;
+use device::UiEvent;
+use simcore::{SimDuration, SimTime, Tick};
+
+/// A UI condition the wait component watches for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitCondition {
+    /// Some view's text in `container`'s subtree contains `needle`
+    /// (e.g. the timestamped post string appearing in the news feed).
+    TextAppears {
+        /// Subtree root id.
+        container: String,
+        /// Needle to search for.
+        needle: String,
+    },
+    /// The view `id` became visible (progress bar appears).
+    Shown {
+        /// View id.
+        id: String,
+    },
+    /// The view `id` became invisible (progress bar disappears).
+    Hidden {
+        /// View id.
+        id: String,
+    },
+    /// The view `id`'s text equals `value` (player status).
+    TextIs {
+        /// View id.
+        id: String,
+        /// Expected text.
+        value: String,
+    },
+}
+
+impl WaitCondition {
+    /// Evaluate against a snapshot.
+    pub fn holds(&self, snapshot: &View) -> bool {
+        match self {
+            WaitCondition::TextAppears { container, needle } => snapshot
+                .find(container)
+                .is_some_and(|v| v.any_text_contains(needle)),
+            WaitCondition::Shown { id } => snapshot.find(id).is_some_and(|v| v.visible),
+            WaitCondition::Hidden { id } => snapshot.find(id).is_some_and(|v| !v.visible),
+            WaitCondition::TextIs { id, value } => {
+                snapshot.find(id).is_some_and(|v| &v.text == value)
+            }
+        }
+    }
+}
+
+/// The outcome of one measured wait.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// The record appended to the behaviour log.
+    pub record: BehaviorRecord,
+}
+
+/// A summary of a monitored video playback (initial loading handled
+/// separately via [`Controller::measure_after`]).
+#[derive(Debug, Clone, Default)]
+pub struct PlaybackReport {
+    /// Total stall time after initial loading.
+    pub stall: SimDuration,
+    /// Total playing + stalling time after initial loading.
+    pub span: SimDuration,
+    /// Number of rebuffering events.
+    pub stalls: u32,
+    /// Whether the video reached the finished state within the timeout.
+    pub finished: bool,
+}
+
+impl PlaybackReport {
+    /// The paper's rebuffering ratio: stall time over play + stall time.
+    pub fn rebuffering_ratio(&self) -> f64 {
+        let span = self.span.as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.stall.as_secs_f64() / span
+        }
+    }
+}
+
+/// The controller: drives the world, injects interactions, measures waits.
+pub struct Controller {
+    /// The scenario under control.
+    pub world: World,
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The behaviour log.
+    pub log: AppBehaviorLog,
+}
+
+impl Controller {
+    /// Take control of a world at t = 0.
+    pub fn new(world: World) -> Controller {
+        Controller { world, now: SimTime::ZERO, log: AppBehaviorLog::new() }
+    }
+
+    /// Advance the world to `target`, processing every due event.
+    pub fn advance_to(&mut self, target: SimTime) {
+        assert!(target >= self.now, "time goes forward");
+        loop {
+            // Settle work at the current instant.
+            let mut settles = 0;
+            while self.world.next_wake().is_some_and(|w| w <= self.now) {
+                self.world.tick(self.now);
+                settles += 1;
+                assert!(
+                    settles < 100_000,
+                    "livelock at {}: {}",
+                    self.now,
+                    self.world.wake_report()
+                );
+            }
+            match self.world.next_wake() {
+                Some(w) if w <= target => self.now = w,
+                _ => break,
+            }
+        }
+        self.now = target;
+        // Settle at the target instant too.
+        let mut settles = 0;
+        while self.world.next_wake().is_some_and(|w| w <= self.now) {
+            self.world.tick(self.now);
+            settles += 1;
+            assert!(settles < 100_000, "livelock at {}", self.now);
+        }
+    }
+
+    /// Let the scenario run for `d` (idle data collection).
+    pub fn advance(&mut self, d: SimDuration) {
+        self.advance_to(self.now + d);
+    }
+
+    /// Inject a UI interaction right now.
+    pub fn interact(&mut self, ev: &UiEvent) {
+        self.world.phone.inject_ui(ev, self.now);
+        // Force one tick so the app's immediate reaction (starting an RPC,
+        // resolving a name) registers with the network stack, then settle.
+        self.world.tick(self.now);
+        self.advance_to(self.now);
+    }
+
+    /// One parse pass: returns the snapshot (taken at pass start) and
+    /// advances time by the parse cost.
+    pub fn parse_once(&mut self) -> View {
+        let (snapshot, cost) = self.world.phone.parse_ui(self.now);
+        self.advance_to(self.now + cost);
+        snapshot
+    }
+
+    /// Wait until `cond` holds, parsing continuously. Returns
+    /// `(pass_start, pass_end, mean_parse, timed_out)` for the pass that
+    /// observed the condition.
+    fn wait_for(
+        &mut self,
+        cond: &WaitCondition,
+        timeout: SimTime,
+    ) -> (SimTime, SimTime, SimDuration, bool) {
+        let mut parse_total = SimDuration::ZERO;
+        let mut parses = 0u64;
+        loop {
+            let pass_start = self.now;
+            let (snapshot, cost) = self.world.phone.parse_ui(self.now);
+            parse_total += cost;
+            parses += 1;
+            self.advance_to(self.now + cost);
+            let pass_end = self.now;
+            if cond.holds(&snapshot) {
+                return (pass_start, pass_end, parse_total / parses, false);
+            }
+            if pass_end >= timeout {
+                return (pass_start, pass_end, parse_total / parses.max(1), true);
+            }
+        }
+    }
+
+    /// Measure a trigger-started latency: inject `trigger`, then wait for
+    /// `cond`. Records and returns the measurement (Table 1's
+    /// "press button → UI response" rows).
+    pub fn measure_after(
+        &mut self,
+        action: &str,
+        trigger: &UiEvent,
+        cond: &WaitCondition,
+        timeout: SimDuration,
+    ) -> Measured {
+        let start = self.now;
+        self.interact(trigger);
+        let deadline = start + timeout;
+        let (_, end, mean_parse, timed_out) = self.wait_for(cond, deadline);
+        let record = BehaviorRecord {
+            action: action.to_string(),
+            start,
+            end,
+            start_kind: StartKind::Trigger,
+            mean_parse,
+            timed_out,
+        };
+        self.log.push(end, record.clone());
+        Measured { record }
+    }
+
+    /// Measure an app-triggered span: wait for `begin`, then for `end`
+    /// (Table 1's "progress bar appears → disappears" rows). Returns `None`
+    /// if `begin` never held within the timeout.
+    pub fn measure_span(
+        &mut self,
+        action: &str,
+        begin: &WaitCondition,
+        end_cond: &WaitCondition,
+        timeout: SimDuration,
+    ) -> Option<Measured> {
+        let deadline = self.now + timeout;
+        let (begin_start, _, _, begin_timeout) = self.wait_for(begin, deadline);
+        if begin_timeout {
+            return None;
+        }
+        let (_, end, mean_parse, timed_out) = self.wait_for(end_cond, deadline);
+        let record = BehaviorRecord {
+            action: action.to_string(),
+            start: begin_start,
+            end,
+            start_kind: StartKind::Parse,
+            mean_parse,
+            timed_out,
+        };
+        self.log.push(end, record.clone());
+        Some(Measured { record })
+    }
+
+    /// Monitor a video that has finished initial loading: record every
+    /// rebuffering span until the player reports `finished` (or timeout).
+    /// Rebuffer spans are logged as `"{action}:rebuffer"` records.
+    pub fn monitor_playback(&mut self, action: &str, timeout: SimDuration) -> PlaybackReport {
+        let playback_start = self.now;
+        let deadline = self.now + timeout;
+        let mut report = PlaybackReport::default();
+        let finished = WaitCondition::TextIs { id: "player_status".into(), value: "finished".into() };
+        let stalled =
+            WaitCondition::TextIs { id: "player_status".into(), value: "rebuffering".into() };
+        loop {
+            // Wait for either a stall or the end.
+            let mut timed_out = true;
+            while self.now < deadline {
+                let snapshot = self.parse_once();
+                if finished.holds(&snapshot) {
+                    report.finished = true;
+                    timed_out = false;
+                    break;
+                }
+                if stalled.holds(&snapshot) {
+                    timed_out = false;
+                    break;
+                }
+            }
+            if report.finished || timed_out {
+                break;
+            }
+            // In a stall: measure it.
+            let stall_start = self.now;
+            let playing = WaitCondition::Hidden { id: "player_progress".into() };
+            let (_, stall_end, mean_parse, to) = self.wait_for(&playing, deadline);
+            let record = BehaviorRecord {
+                action: format!("{action}:rebuffer"),
+                start: stall_start,
+                end: stall_end,
+                start_kind: StartKind::Parse,
+                mean_parse,
+                timed_out: to,
+            };
+            self.log.push(stall_end, record.clone());
+            report.stall += record.calibrated();
+            report.stalls += 1;
+            if to {
+                break;
+            }
+        }
+        report.span = self.now.saturating_since(playback_start);
+        report
+    }
+}

@@ -1,0 +1,200 @@
+//! One-call QoE diagnosis: the tool's namesake.
+//!
+//! Given a measured behaviour record and the collected artifacts, assemble
+//! everything the multi-layer analyzer can say about *why* the user waited:
+//! the device/network split, the responsible flows with their RTT and
+//! retransmission health, the RRC promotions that stalled the radio, the
+//! RLC-level breakdown when PDU logs are available, and the visual-progress
+//! summary. [`Diagnosis`] renders as a human-readable report.
+
+use crate::analyze::crosslayer::{
+    long_jump_map, net_latency_breakdown, rrc_transitions_in, window_breakdown,
+    NetLatencyBreakdown, WindowBreakdown,
+};
+use crate::analyze::speedindex::VisualProgress;
+use crate::analyze::transport::TransportReport;
+use crate::behavior::BehaviorRecord;
+use crate::collect::Collection;
+use netstack::pcap::Direction;
+use netstack::IpPacket;
+use radio::rrc::RrcTransition;
+use simcore::{SimDuration, SimTime};
+use std::fmt;
+
+/// A per-flow line of the diagnosis.
+#[derive(Debug, Clone)]
+pub struct FlowLine {
+    /// Server name (or the remote address when no DNS lookup matched).
+    pub server: String,
+    /// Uplink wire bytes inside the window.
+    pub ul_bytes: u64,
+    /// Downlink wire bytes inside the window.
+    pub dl_bytes: u64,
+    /// Mean data→ACK RTT, if sampled.
+    pub mean_rtt: Option<SimDuration>,
+    /// Retransmissions (seen + inferred).
+    pub retransmissions: u32,
+}
+
+/// The assembled root-cause report for one QoE window.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// The measured action.
+    pub action: String,
+    /// Calibrated user-perceived latency.
+    pub user_latency: SimDuration,
+    /// Device/network attribution.
+    pub split: WindowBreakdown,
+    /// Flows active inside the window.
+    pub flows: Vec<FlowLine>,
+    /// RRC transitions inside the window (cellular only).
+    pub rrc_transitions: Vec<(SimDuration, RrcTransition)>,
+    /// Fine-grained radio breakdown of the network share (cellular only,
+    /// for the direction carrying the bulk of the window's data).
+    pub radio_breakdown: Option<NetLatencyBreakdown>,
+    /// Speed Index of the window's UI changes, when any were drawn.
+    pub speed_index: Option<SimDuration>,
+}
+
+/// Diagnose one measured record against the collected artifacts.
+pub fn diagnose(record: &BehaviorRecord, col: &Collection) -> Diagnosis {
+    let split = window_breakdown(record, &col.trace);
+
+    // Transport: flows inside the window.
+    let report = TransportReport::analyze_records(col.trace.window(record.start, record.end));
+    let flows = report
+        .flows
+        .iter()
+        .map(|f| FlowLine {
+            server: f
+                .server
+                .clone()
+                .unwrap_or_else(|| format!("{}", f.key.dst)),
+            ul_bytes: f.ul_wire,
+            dl_bytes: f.dl_wire,
+            mean_rtt: f.mean_rtt(),
+            retransmissions: f.ul_retx + f.dl_retx + f.inferred_retx,
+        })
+        .collect();
+
+    // Radio: transitions and, when PDU records exist, the RLC breakdown.
+    let mut rrc_transitions = Vec::new();
+    let mut radio_breakdown = None;
+    if let Some(qxdm) = &col.qxdm {
+        rrc_transitions = rrc_transitions_in(qxdm, record.start, record.end)
+            .into_iter()
+            .map(|(at, tr)| (at.saturating_since(record.start), tr))
+            .collect();
+        let window = col.trace.window(record.start, record.end);
+        if !qxdm.pdus.is_empty() && !window.is_empty() {
+            // Pick the direction carrying the most payload in the window.
+            let (ul, dl) = window.iter().fold((0u64, 0u64), |(u, d), e| {
+                match e.record.dir {
+                    Direction::Uplink => (u + e.record.pkt.payload_len as u64, d),
+                    Direction::Downlink => (u, d + e.record.pkt.payload_len as u64),
+                }
+            });
+            let dir = if ul >= dl { Direction::Uplink } else { Direction::Downlink };
+            let pkts: Vec<(SimTime, &IpPacket)> = window
+                .iter()
+                .filter(|e| e.record.dir == dir)
+                .map(|e| (e.at, &e.record.pkt))
+                .collect();
+            if !pkts.is_empty() {
+                let mapped = long_jump_map(&pkts, qxdm, dir);
+                radio_breakdown = Some(net_latency_breakdown(
+                    record.start,
+                    record.end,
+                    split.network_latency,
+                    &mapped,
+                    qxdm,
+                    dir,
+                ));
+            }
+        }
+    }
+
+    let speed_index =
+        VisualProgress::of(&col.camera, record.start, record.end).speed_index();
+
+    Diagnosis {
+        action: record.action.clone(),
+        user_latency: record.calibrated(),
+        split,
+        flows,
+        rrc_transitions,
+        radio_breakdown,
+        speed_index,
+    }
+}
+
+impl Diagnosis {
+    /// A one-line verdict: what dominated the wait.
+    pub fn verdict(&self) -> String {
+        let net = self.split.network_latency.as_secs_f64();
+        let dev = self.split.device_latency.as_secs_f64();
+        let total = self.user_latency.as_secs_f64().max(f64::MIN_POSITIVE);
+        if self.split.response_outside_window && net < dev {
+            "device-bound: the network response was not on the critical path".into()
+        } else if net > dev {
+            let mut cause = format!("network-bound ({:.0}% of the wait)", net / total * 100.0);
+            if let Some(rb) = &self.radio_breakdown {
+                let parts = [
+                    (rb.rlc_tx, "RLC transmission"),
+                    (rb.ip_to_rlc, "RRC promotion / IP-to-RLC"),
+                    (rb.ota, "first-hop OTA waits"),
+                    (rb.other, "core network + server"),
+                ];
+                if let Some((share, label)) =
+                    parts.iter().max_by(|a, b| a.0.cmp(&b.0))
+                {
+                    cause.push_str(&format!(", dominated by {label} ({share})"));
+                }
+            }
+            cause
+        } else {
+            format!("device-bound ({:.0}% of the wait)", dev / total * 100.0)
+        }
+    }
+}
+
+impl fmt::Display for Diagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "QoE diagnosis — {}", self.action)?;
+        writeln!(f, "  user-perceived latency: {}", self.user_latency)?;
+        writeln!(
+            f,
+            "  split: network {} / device {}",
+            self.split.network_latency, self.split.device_latency
+        )?;
+        writeln!(f, "  verdict: {}", self.verdict())?;
+        if let Some(si) = self.speed_index {
+            writeln!(f, "  speed index: {si}")?;
+        }
+        for fl in &self.flows {
+            write!(
+                f,
+                "  flow {:<24} up {:>7} B  down {:>7} B",
+                fl.server, fl.ul_bytes, fl.dl_bytes
+            )?;
+            if let Some(rtt) = fl.mean_rtt {
+                write!(f, "  rtt {rtt}")?;
+            }
+            if fl.retransmissions > 0 {
+                write!(f, "  retx {}", fl.retransmissions)?;
+            }
+            writeln!(f)?;
+        }
+        for (offset, tr) in &self.rrc_transitions {
+            writeln!(f, "  rrc {:?} -> {:?} at +{offset}", tr.from, tr.to)?;
+        }
+        if let Some(rb) = &self.radio_breakdown {
+            writeln!(
+                f,
+                "  radio: ip-to-rlc {}  rlc-tx {}  ota {}  other {}",
+                rb.ip_to_rlc, rb.rlc_tx, rb.ota, rb.other
+            )?;
+        }
+        Ok(())
+    }
+}

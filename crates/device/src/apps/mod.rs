@@ -1,0 +1,11 @@
+//! Application models: the apps the paper measures (Table 1).
+
+pub mod browser;
+pub mod facebook;
+pub mod poster;
+pub mod youtube;
+
+pub use browser::{BrowserApp, BrowserConfig};
+pub use facebook::{FacebookApp, FacebookConfig, FbVersion};
+pub use poster::{FacebookPoster, PosterConfig};
+pub use youtube::{VideoSpec, YouTubeApp, YouTubeConfig};

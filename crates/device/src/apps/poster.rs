@@ -1,0 +1,127 @@
+//! "Device A" — the posting peer of §7.3/§7.4.
+//!
+//! The paper's background-traffic experiments use two phones with mutually
+//! exclusive friend lists: device A posts on a schedule, device B receives
+//! the notifications. This headless app is device A: it uploads a status to
+//! the Facebook write origin every `interval`, with no UI interaction
+//! required.
+
+use crate::phone::{App, AppCx, UiEvent};
+use crate::rpc::Rpc;
+use crate::ui::View;
+use simcore::{SimDuration, SimTime};
+
+/// Configuration for the posting peer.
+#[derive(Debug, Clone)]
+pub struct PosterConfig {
+    /// Post period. `None` posts nothing (the "none" bar of Fig. 10).
+    pub interval: Option<SimDuration>,
+    /// Delay before the first post (de-phases from the receiver's timers).
+    pub first_post: Option<SimDuration>,
+    /// Write origin hostname.
+    pub server: String,
+    /// Upload bytes per post.
+    pub post_bytes: u64,
+    /// Acknowledgement bytes.
+    pub ack_bytes: u64,
+}
+
+impl PosterConfig {
+    /// Post a status every `interval`.
+    pub fn every(interval: SimDuration) -> PosterConfig {
+        PosterConfig {
+            interval: Some(interval),
+            first_post: Some(interval / 2 + SimDuration::from_secs(7)),
+            server: "graph.facebook.com".to_string(),
+            post_bytes: 2_400,
+            ack_bytes: 900,
+        }
+    }
+
+    /// Never post.
+    pub fn silent() -> PosterConfig {
+        PosterConfig {
+            interval: None,
+            first_post: None,
+            server: "graph.facebook.com".to_string(),
+            post_bytes: 2_400,
+            ack_bytes: 900,
+        }
+    }
+}
+
+/// The posting peer app.
+pub struct FacebookPoster {
+    cfg: PosterConfig,
+    next_post: Option<SimTime>,
+    started: bool,
+    rpcs: Vec<Rpc>,
+    next_tag: u16,
+    /// Posts uploaded so far.
+    pub posts: u64,
+}
+
+impl FacebookPoster {
+    /// Install the poster.
+    pub fn new(cfg: PosterConfig) -> FacebookPoster {
+        FacebookPoster {
+            cfg,
+            next_post: None,
+            started: false,
+            rpcs: Vec::new(),
+            next_tag: 1,
+            posts: 0,
+        }
+    }
+}
+
+impl App for FacebookPoster {
+    fn name(&self) -> &'static str {
+        "com.facebook.katana (device A)"
+    }
+
+    fn start(&mut self, cx: &mut AppCx) {
+        cx.ui.mutate(cx.now, "app:launch", |root| {
+            root.children =
+                vec![View::new("LinearLayout", "poster_root")
+                    .with_child(View::new("TextView", "poster_status").with_text("idle"))];
+        });
+        self.started = true;
+        if let (Some(first), Some(_)) = (self.cfg.first_post, self.cfg.interval) {
+            self.next_post = Some(cx.now + first);
+        }
+    }
+
+    fn on_ui_event(&mut self, _ev: &UiEvent, _cx: &mut AppCx) {}
+
+    fn tick(&mut self, cx: &mut AppCx) {
+        if let (Some(at), Some(interval)) = (self.next_post, self.cfg.interval) {
+            if cx.now >= at {
+                self.next_tag = self.next_tag.wrapping_add(1).max(1);
+                let rpc = Rpc::new(
+                    &self.cfg.server,
+                    443,
+                    self.next_tag,
+                    self.cfg.post_bytes,
+                    self.cfg.ack_bytes,
+                );
+                self.rpcs.push(rpc);
+                self.posts += 1;
+                self.next_post = Some(at + interval);
+            }
+        }
+        let mut done = Vec::new();
+        for (i, rpc) in self.rpcs.iter_mut().enumerate() {
+            if rpc.poll(cx.host, cx.now) {
+                done.push(i);
+            }
+        }
+        for i in done.into_iter().rev() {
+            self.rpcs.remove(i);
+        }
+    }
+
+    fn next_wake(&self) -> Option<SimTime> {
+        self.next_post
+    }
+}

@@ -1,0 +1,288 @@
+//! The simulated Android device.
+//!
+//! A [`Phone`] owns a network stack ([`Host`]), an attachment (cellular
+//! bearer or WiFi), the UI layout tree, one foreground [`App`], the tcpdump
+//! capture at its IP boundary, and a CPU meter separating app work from
+//! controller work (for the Table 3 overhead figure).
+//!
+//! The QoE Doctor controller (in the `qoe-doctor` crate) interacts with a
+//! phone exactly the way the real tool does through InstrumentationTestCase:
+//! it injects UI events ([`Phone::inject_ui`]) and parses the layout tree
+//! ([`Phone::parse_ui`]), paying a parse cost each time.
+
+use crate::ui::{UiTree, View, ViewSignature};
+use netstack::link::{LinkConfig, Pipe};
+use netstack::pcap::{Capture, Direction};
+use netstack::{Host, IpAddr, IpPacket, SocketAddr, TcpConfig};
+use radio::bearer::CellBearer;
+use simcore::{earlier, DetRng, SimDuration, SimTime};
+
+/// A UI interaction the controller can inject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UiEvent {
+    /// Tap a view.
+    Click {
+        /// The view to tap.
+        target: ViewSignature,
+    },
+    /// Pull/scroll gesture on a view.
+    Scroll {
+        /// The view to scroll.
+        target: ViewSignature,
+    },
+    /// Type text into a view.
+    TypeText {
+        /// The view to type into.
+        target: ViewSignature,
+        /// The text.
+        text: String,
+    },
+    /// Press the ENTER key (URL bar submission).
+    KeyEnter,
+}
+
+/// CPU time accounting, split by who consumed it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuMeter {
+    /// CPU time spent by the app itself.
+    pub app_busy: SimDuration,
+    /// CPU time spent by the QoE Doctor controller (UI tree parsing).
+    pub controller_busy: SimDuration,
+}
+
+impl CpuMeter {
+    /// Controller overhead ratio: controller CPU over app CPU.
+    pub fn overhead_ratio(&self) -> f64 {
+        let app = self.app_busy.as_secs_f64();
+        if app == 0.0 {
+            return 0.0;
+        }
+        self.controller_busy.as_secs_f64() / app
+    }
+}
+
+/// Context handed to apps: everything on the device they may touch.
+pub struct AppCx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The device network stack.
+    pub host: &'a mut Host,
+    /// The UI layout tree.
+    pub ui: &'a mut UiTree,
+    /// Randomness (per-device stream).
+    pub rng: &'a mut DetRng,
+    /// CPU meter (apps add their processing time).
+    pub cpu: &'a mut CpuMeter,
+}
+
+/// A foreground application.
+pub trait App {
+    /// Package-style name.
+    fn name(&self) -> &'static str;
+    /// App launch: build the UI, open persistent connections.
+    fn start(&mut self, cx: &mut AppCx);
+    /// Handle an injected UI interaction.
+    fn on_ui_event(&mut self, ev: &UiEvent, cx: &mut AppCx);
+    /// Drive app logic (poll sockets, fire internal timers).
+    fn tick(&mut self, cx: &mut AppCx);
+    /// Earliest self-scheduled work, if any.
+    fn next_wake(&self) -> Option<SimTime>;
+}
+
+/// The device's network attachment.
+pub enum NetAttachment {
+    /// A cellular bearer (3G or LTE).
+    Cell(Box<CellBearer>),
+    /// WiFi: a plain duplex link to the internet.
+    Wifi {
+        /// Device → internet pipe.
+        up: Pipe,
+        /// Internet → device pipe.
+        down: Pipe,
+    },
+}
+
+impl NetAttachment {
+    /// A typical home/office WiFi path: 30 Mb/s, ~12 ms one-way to servers.
+    pub fn wifi(rng: &mut DetRng) -> NetAttachment {
+        let cfg = LinkConfig {
+            bandwidth_bps: 30e6,
+            latency: SimDuration::from_millis(12),
+            jitter_frac: 0.15,
+            loss: 0.0,
+            queue_bytes: 512_000,
+        };
+        NetAttachment::Wifi {
+            up: Pipe::new(cfg.clone(), rng.fork(11)),
+            down: Pipe::new(cfg, rng.fork(12)),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetAttachment::Cell(b) => match b.rrc_state() {
+                radio::RrcState::Dch
+                | radio::RrcState::Fach
+                | radio::RrcState::Pch => "3G",
+                _ => "LTE",
+            },
+            NetAttachment::Wifi { .. } => "WiFi",
+        }
+    }
+}
+
+/// The simulated handset.
+pub struct Phone {
+    /// Device network stack.
+    pub host: Host,
+    /// Network attachment.
+    pub net: NetAttachment,
+    /// UI layout tree (with camera ground truth).
+    pub ui: UiTree,
+    /// The foreground app.
+    pub app: Box<dyn App>,
+    /// tcpdump-substitute capture at the IP boundary.
+    pub capture: Capture,
+    /// CPU accounting.
+    pub cpu: CpuMeter,
+    /// Device randomness.
+    pub rng: DetRng,
+    /// Base cost of one UI-tree parse pass.
+    pub parse_base: SimDuration,
+    /// Additional parse cost per view in the tree.
+    pub parse_per_view: SimDuration,
+    /// Fraction of a parse pass's wall time that is actual CPU work (the
+    /// rest is spent blocked on UI-thread synchronization, which DDMS-style
+    /// CPU accounting does not attribute to the controller).
+    pub parse_cpu_fraction: f64,
+    started: bool,
+}
+
+impl Phone {
+    /// Assemble a phone at `ip` using `resolver`, attached via `net`,
+    /// running `app`.
+    pub fn new(
+        ip: IpAddr,
+        resolver: SocketAddr,
+        net: NetAttachment,
+        app: Box<dyn App>,
+        mut rng: DetRng,
+    ) -> Phone {
+        let ui = UiTree::new(View::new("FrameLayout", "root"), rng.fork(21));
+        Phone {
+            host: Host::new(ip, resolver, TcpConfig::default()),
+            net,
+            ui,
+            app,
+            capture: Capture::new(),
+            cpu: CpuMeter::default(),
+            rng,
+            parse_base: SimDuration::from_millis(24),
+            parse_per_view: SimDuration::from_micros(150),
+            parse_cpu_fraction: 0.018,
+            started: false,
+        }
+    }
+
+    fn cx<'a>(
+        host: &'a mut Host,
+        ui: &'a mut UiTree,
+        rng: &'a mut DetRng,
+        cpu: &'a mut CpuMeter,
+        now: SimTime,
+    ) -> AppCx<'a> {
+        AppCx { now, host, ui, rng, cpu }
+    }
+
+    /// Inject a UI interaction (controller entry point).
+    pub fn inject_ui(&mut self, ev: &UiEvent, now: SimTime) {
+        let mut cx = Self::cx(&mut self.host, &mut self.ui, &mut self.rng, &mut self.cpu, now);
+        self.app.on_ui_event(ev, &mut cx);
+    }
+
+    /// Parse the UI layout tree (controller's `see`/`wait` component).
+    /// Returns a snapshot plus the CPU time the parse consumed — the
+    /// `t_parsing` of Fig. 4.
+    pub fn parse_ui(&mut self, _now: SimTime) -> (View, SimDuration) {
+        let views = self.ui.root().count() as u64;
+        let mean = self.parse_base + self.parse_per_view * views;
+        let cost = self.rng.jittered(mean, 0.25);
+        self.cpu.controller_busy += cost.mul_f64(self.parse_cpu_fraction);
+        (self.ui.snapshot(), cost)
+    }
+
+    /// Advance the device at `now`.
+    pub fn tick(&mut self, now: SimTime) {
+        if !self.started {
+            self.started = true;
+            let mut cx =
+                Self::cx(&mut self.host, &mut self.ui, &mut self.rng, &mut self.cpu, now);
+            self.app.start(&mut cx);
+        }
+        // 1. Downlink into the stack (through the capture tap).
+        match &mut self.net {
+            NetAttachment::Cell(b) => {
+                b.tick(now);
+                for p in b.recv_for_phone(now) {
+                    self.capture.record(Direction::Downlink, &p, now);
+                    self.host.on_packet(&p, now);
+                }
+            }
+            NetAttachment::Wifi { down, .. } => {
+                for p in down.deliver(now) {
+                    self.capture.record(Direction::Downlink, &p, now);
+                    self.host.on_packet(&p, now);
+                }
+            }
+        }
+        // 2. App logic.
+        {
+            let mut cx =
+                Self::cx(&mut self.host, &mut self.ui, &mut self.rng, &mut self.cpu, now);
+            self.app.tick(&mut cx);
+        }
+        // 3. Protocol machinery, then uplink through the capture tap.
+        self.host.poll(now);
+        for p in self.host.take_egress() {
+            self.capture.record(Direction::Uplink, &p, now);
+            match &mut self.net {
+                NetAttachment::Cell(b) => b.send_uplink(p, now),
+                NetAttachment::Wifi { up, .. } => up.send(p, now),
+            }
+        }
+    }
+
+    /// Packets leaving the device's access network toward the internet.
+    pub fn take_uplink(&mut self, now: SimTime) -> Vec<IpPacket> {
+        match &mut self.net {
+            NetAttachment::Cell(b) => b.recv_for_internet(now),
+            NetAttachment::Wifi { up, .. } => up.deliver(now),
+        }
+    }
+
+    /// A packet arriving from the internet enters the access network.
+    pub fn deliver_downlink(&mut self, pkt: IpPacket, now: SimTime) {
+        match &mut self.net {
+            NetAttachment::Cell(b) => b.send_downlink(pkt, now),
+            NetAttachment::Wifi { down, .. } => down.send(pkt, now),
+        }
+    }
+
+    /// Earliest instant the device has work.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        let mut wake = self.host.next_wake();
+        wake = earlier(wake, self.app.next_wake());
+        match &self.net {
+            NetAttachment::Cell(b) => wake = earlier(wake, b.next_wake()),
+            NetAttachment::Wifi { up, down } => {
+                wake = earlier(wake, up.next_wake());
+                wake = earlier(wake, down.next_wake());
+            }
+        }
+        if !self.started {
+            wake = earlier(wake, Some(SimTime::ZERO));
+        }
+        wake
+    }
+}

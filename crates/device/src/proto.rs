@@ -1,0 +1,122 @@
+//! Application-layer marker vocabulary.
+//!
+//! Simulated apps and servers frame requests and responses with TCP stream
+//! markers (see `netstack::IpPacket::markers`). A marker is a packed u64:
+//!
+//! ```text
+//!   bits 56..64  kind   (request / response / push / subscribe)
+//!   bits 40..56  tag    (correlates a response with its request)
+//!   bits  0..40  param  (payload size in bytes, up to 1 TB)
+//! ```
+//!
+//! A client sends a request of R bytes carrying `req(tag, resp_bytes)`; the
+//! server answers with `resp_bytes` of payload carrying `resp(tag)`. This
+//! stands in for the HTTP framing the synthetic payload bytes would encode;
+//! the packet-trace analyzers never see markers.
+
+/// Marker kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Client request; param = requested response size in bytes.
+    Request,
+    /// Server response completion; param unused.
+    Response,
+    /// Server-initiated push (notification); param = push payload bytes.
+    Push,
+    /// Client subscribing a persistent push channel.
+    Subscribe,
+}
+
+impl Kind {
+    fn code(self) -> u64 {
+        match self {
+            Kind::Request => 1,
+            Kind::Response => 2,
+            Kind::Push => 3,
+            Kind::Subscribe => 4,
+        }
+    }
+
+    fn from_code(c: u64) -> Option<Kind> {
+        Some(match c {
+            1 => Kind::Request,
+            2 => Kind::Response,
+            3 => Kind::Push,
+            4 => Kind::Subscribe,
+            _ => return None,
+        })
+    }
+}
+
+const PARAM_MASK: u64 = (1 << 40) - 1;
+
+/// Pack a marker.
+pub fn pack(kind: Kind, tag: u16, param: u64) -> u64 {
+    assert!(param <= PARAM_MASK, "param too large: {param}");
+    (kind.code() << 56) | ((tag as u64) << 40) | param
+}
+
+/// Unpack a marker into `(kind, tag, param)`.
+pub fn unpack(marker: u64) -> Option<(Kind, u16, u64)> {
+    let kind = Kind::from_code(marker >> 56)?;
+    let tag = ((marker >> 40) & 0xFFFF) as u16;
+    Some((kind, tag, marker & PARAM_MASK))
+}
+
+/// Client request marker: "respond with `resp_bytes` bytes, tagged `tag`".
+pub fn req(tag: u16, resp_bytes: u64) -> u64 {
+    pack(Kind::Request, tag, resp_bytes)
+}
+
+/// Server response-complete marker for `tag`.
+pub fn resp(tag: u16) -> u64 {
+    pack(Kind::Response, tag, 0)
+}
+
+/// Server push marker.
+pub fn push(tag: u16, bytes: u64) -> u64 {
+    pack(Kind::Push, tag, bytes)
+}
+
+/// Subscribe marker for persistent push channels.
+pub fn subscribe(tag: u16) -> u64 {
+    pack(Kind::Subscribe, tag, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for (kind, tag, param) in [
+            (Kind::Request, 7u16, 123_456u64),
+            (Kind::Response, 65535, 0),
+            (Kind::Push, 0, PARAM_MASK),
+            (Kind::Subscribe, 42, 1),
+        ] {
+            let m = pack(kind, tag, param);
+            assert_eq!(unpack(m), Some((kind, tag, param)));
+        }
+    }
+
+    #[test]
+    fn helpers_match_pack() {
+        assert_eq!(unpack(req(3, 999)), Some((Kind::Request, 3, 999)));
+        assert_eq!(unpack(resp(3)), Some((Kind::Response, 3, 0)));
+        assert_eq!(unpack(push(1, 500)), Some((Kind::Push, 1, 500)));
+        assert_eq!(unpack(subscribe(9)), Some((Kind::Subscribe, 9, 0)));
+    }
+
+    #[test]
+    fn unknown_kind_is_none() {
+        assert_eq!(unpack(0), None);
+        assert_eq!(unpack(99 << 56), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "param too large")]
+    fn oversized_param_panics() {
+        pack(Kind::Request, 0, 1 << 40);
+    }
+}

@@ -1,0 +1,341 @@
+//! Android-style UI layout tree.
+//!
+//! QoE Doctor measures user-perceived latency "directly from UI changes"
+//! (§4.1): the controller shares the app's process and periodically parses
+//! the UI layout tree, addressing views by a *View signature* (class name,
+//! view id, developer description — never coordinates, §4.1). This module is
+//! that tree.
+//!
+//! Two timestamps matter for the accuracy evaluation (Fig. 4): the moment
+//! the layout tree changes (`t_ui`, what the controller can observe) and the
+//! moment the change reaches the screen (`t_screen = t_ui + draw delay`,
+//! what the user sees, which the paper ground-truths with a 60 fps camera).
+//! Every mutation here logs both: the layout change is immediately visible
+//! to [`UiTree::snapshot`], and a [`ScreenEvent`] with the draw-completed
+//! time lands in the camera log.
+
+use serde::{Deserialize, Serialize};
+use simcore::{DetRng, RecordLog, SimDuration, SimTime};
+
+/// One node of the layout tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct View {
+    /// Android class name, e.g. `android.widget.ProgressBar`.
+    pub class: String,
+    /// Resource id, e.g. `news_feed`.
+    pub id: String,
+    /// Content description added by the developer (the third component of
+    /// the paper's View signature).
+    pub desc: String,
+    /// Text content (list item text, button label, URL bar content).
+    pub text: String,
+    /// Visibility flag.
+    pub visible: bool,
+    /// Child views.
+    pub children: Vec<View>,
+}
+
+impl View {
+    /// A new view of `class` with resource id `id`.
+    pub fn new(class: &str, id: &str) -> View {
+        View {
+            class: class.to_string(),
+            id: id.to_string(),
+            desc: String::new(),
+            text: String::new(),
+            visible: true,
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: set the content description.
+    pub fn with_desc(mut self, desc: &str) -> View {
+        self.desc = desc.to_string();
+        self
+    }
+
+    /// Builder: set initial text.
+    pub fn with_text(mut self, text: &str) -> View {
+        self.text = text.to_string();
+        self
+    }
+
+    /// Builder: set initial visibility.
+    pub fn with_visible(mut self, visible: bool) -> View {
+        self.visible = visible;
+        self
+    }
+
+    /// Builder: add a child.
+    pub fn with_child(mut self, child: View) -> View {
+        self.children.push(child);
+        self
+    }
+
+    /// Depth-first search for a view by resource id.
+    pub fn find(&self, id: &str) -> Option<&View> {
+        if self.id == id {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(id))
+    }
+
+    /// Depth-first mutable search by resource id.
+    pub fn find_mut(&mut self, id: &str) -> Option<&mut View> {
+        if self.id == id {
+            return Some(self);
+        }
+        self.children.iter_mut().find_map(|c| c.find_mut(id))
+    }
+
+    /// First view matching a signature, depth-first.
+    pub fn find_signature(&self, sig: &ViewSignature) -> Option<&View> {
+        if sig.matches(self) {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find_signature(sig))
+    }
+
+    /// True when any view in the subtree contains `needle` in its text.
+    pub fn any_text_contains(&self, needle: &str) -> bool {
+        self.text.contains(needle) || self.children.iter().any(|c| c.any_text_contains(needle))
+    }
+
+    /// Total number of views in the subtree.
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(View::count).sum::<usize>()
+    }
+}
+
+/// Addresses a view by characteristics rather than coordinates (§4.1), so
+/// replay specifications transfer across devices and screen sizes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewSignature {
+    /// Required class name, if any.
+    pub class: Option<String>,
+    /// Required resource id, if any.
+    pub id: Option<String>,
+    /// Required content description, if any. The paper's signature is
+    /// {class name, View ID, developer description}; View coordinates are
+    /// deliberately excluded so specifications transfer across devices.
+    pub desc: Option<String>,
+}
+
+impl ViewSignature {
+    /// Signature matching a resource id.
+    pub fn by_id(id: &str) -> ViewSignature {
+        ViewSignature { class: None, id: Some(id.to_string()), desc: None }
+    }
+
+    /// Signature matching a class name.
+    pub fn by_class(class: &str) -> ViewSignature {
+        ViewSignature { class: Some(class.to_string()), id: None, desc: None }
+    }
+
+    /// Signature matching a developer description.
+    pub fn by_desc(desc: &str) -> ViewSignature {
+        ViewSignature { class: None, id: None, desc: Some(desc.to_string()) }
+    }
+
+    /// Builder: additionally require a class name.
+    pub fn and_class(mut self, class: &str) -> ViewSignature {
+        self.class = Some(class.to_string());
+        self
+    }
+
+    /// True when `view` satisfies every constraint in the signature.
+    pub fn matches(&self, view: &View) -> bool {
+        self.class.as_ref().is_none_or(|c| &view.class == c)
+            && self.id.as_ref().is_none_or(|i| &view.id == i)
+            && self.desc.as_ref().is_none_or(|d| &view.desc == d)
+    }
+}
+
+/// Ground-truth record: a labelled UI change and when it hit the screen.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScreenEvent {
+    /// What changed (e.g. `progress:feed_progress:hide`, `feed:item:<text>`).
+    pub label: String,
+    /// When the layout tree changed (`t_ui`).
+    pub changed_at: SimTime,
+}
+
+/// The live layout tree plus the draw-delay model and camera log.
+pub struct UiTree {
+    root: View,
+    rng: DetRng,
+    /// Mean UI drawing delay between a layout change and pixels on screen.
+    pub draw_delay: SimDuration,
+    /// Jitter fraction on the draw delay.
+    pub draw_jitter: f64,
+    /// Camera log: each entry's *time* is `t_screen`, its `changed_at` is
+    /// `t_ui`. Evaluation-only; the controller never reads this.
+    pub camera: RecordLog<ScreenEvent>,
+    last_draw: SimTime,
+}
+
+impl UiTree {
+    /// New tree rooted at `root`.
+    pub fn new(root: View, rng: DetRng) -> UiTree {
+        UiTree {
+            root,
+            rng,
+            draw_delay: SimDuration::from_millis(14),
+            draw_jitter: 0.30,
+            camera: RecordLog::new(),
+            last_draw: SimTime::ZERO,
+        }
+    }
+
+    /// Read-only access to the live tree (in-process, as the controller's
+    /// `see` component has via InstrumentationTestCase).
+    pub fn root(&self) -> &View {
+        &self.root
+    }
+
+    /// Deep copy of the current tree (what a parse pass returns).
+    pub fn snapshot(&self) -> View {
+        self.root.clone()
+    }
+
+    /// Apply a labelled mutation at `now`. The layout changes immediately;
+    /// the screen catches up one draw delay later, which the camera records.
+    pub fn mutate(&mut self, now: SimTime, label: &str, f: impl FnOnce(&mut View)) {
+        f(&mut self.root);
+        let delay = self.rng.jittered(self.draw_delay, self.draw_jitter);
+        let drawn = (now + delay).max(self.last_draw);
+        self.last_draw = drawn;
+        self.camera.push(drawn, ScreenEvent { label: label.to_string(), changed_at: now });
+    }
+
+    /// Convenience: set a view's visibility.
+    pub fn set_visible(&mut self, now: SimTime, id: &str, visible: bool) {
+        let label = format!("{}:{}", id, if visible { "show" } else { "hide" });
+        self.mutate(now, &label, |root| {
+            if let Some(v) = root.find_mut(id) {
+                v.visible = visible;
+            }
+        });
+    }
+
+    /// Convenience: set a view's text.
+    pub fn set_text(&mut self, now: SimTime, id: &str, text: &str) {
+        let label = format!("{id}:text");
+        let owned = text.to_string();
+        self.mutate(now, &label, |root| {
+            if let Some(v) = root.find_mut(id) {
+                v.text = owned;
+            }
+        });
+    }
+
+    /// Convenience: prepend an item (e.g. a news-feed entry) to a container.
+    pub fn prepend_item(&mut self, now: SimTime, container: &str, class: &str, text: &str) {
+        let label = format!("{container}:item:{text}");
+        let item =
+            View::new(class, &format!("{container}_item_{}", text.len())).with_text(text);
+        self.mutate(now, &label, |root| {
+            if let Some(v) = root.find_mut(container) {
+                v.children.insert(0, item);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> View {
+        View::new("LinearLayout", "root")
+            .with_child(View::new("android.widget.EditText", "composer"))
+            .with_child(View::new("android.widget.Button", "post_button").with_text("Post"))
+            .with_child(
+                View::new("android.widget.ListView", "news_feed")
+                    .with_child(View::new("TextView", "item0").with_text("hello world")),
+            )
+            .with_child(
+                View::new("android.widget.ProgressBar", "feed_progress").with_visible(false),
+            )
+    }
+
+    #[test]
+    fn find_by_id_and_signature() {
+        let t = tree();
+        assert!(t.find("news_feed").is_some());
+        assert!(t.find("nope").is_none());
+        let sig = ViewSignature::by_class("android.widget.ProgressBar");
+        assert_eq!(t.find_signature(&sig).unwrap().id, "feed_progress");
+        let sig2 = ViewSignature::by_id("post_button");
+        assert_eq!(t.find_signature(&sig2).unwrap().text, "Post");
+    }
+
+    #[test]
+    fn desc_signature_matches() {
+        let t = View::new("LinearLayout", "root").with_child(
+            View::new("android.widget.Button", "b1").with_desc("Post to your timeline"),
+        );
+        let sig = ViewSignature::by_desc("Post to your timeline");
+        assert_eq!(t.find_signature(&sig).unwrap().id, "b1");
+        let combined =
+            ViewSignature::by_desc("Post to your timeline").and_class("android.widget.Button");
+        assert!(t.find_signature(&combined).is_some());
+        let wrong =
+            ViewSignature::by_desc("Post to your timeline").and_class("android.widget.TextView");
+        assert!(t.find_signature(&wrong).is_none());
+    }
+
+    #[test]
+    fn text_search_descends() {
+        let t = tree();
+        assert!(t.any_text_contains("hello"));
+        assert!(!t.any_text_contains("goodbye"));
+    }
+
+    #[test]
+    fn count_counts_subtree() {
+        assert_eq!(tree().count(), 6);
+    }
+
+    #[test]
+    fn mutations_are_immediately_visible_but_draw_later() {
+        let mut ui = UiTree::new(tree(), DetRng::seed_from_u64(1));
+        let now = SimTime::from_secs(1);
+        ui.set_visible(now, "feed_progress", true);
+        // The layout tree reflects the change at once.
+        assert!(ui.root().find("feed_progress").unwrap().visible);
+        // The camera records the draw strictly after the change.
+        let ev = &ui.camera.entries()[0];
+        assert_eq!(ev.record.changed_at, now);
+        assert!(ev.at > now);
+        assert!(ev.at < now + SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn draw_times_are_monotone() {
+        let mut ui = UiTree::new(tree(), DetRng::seed_from_u64(2));
+        for i in 0..100u64 {
+            ui.set_text(SimTime::from_micros(i * 10), "composer", &format!("t{i}"));
+        }
+        let times: Vec<SimTime> = ui.camera.iter().map(|(at, _)| at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn prepend_item_goes_first() {
+        let mut ui = UiTree::new(tree(), DetRng::seed_from_u64(3));
+        ui.prepend_item(SimTime::ZERO, "news_feed", "TextView", "newest post");
+        let feed = ui.root().find("news_feed").unwrap();
+        assert_eq!(feed.children[0].text, "newest post");
+        assert_eq!(feed.children.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut ui = UiTree::new(tree(), DetRng::seed_from_u64(4));
+        let snap = ui.snapshot();
+        ui.set_text(SimTime::ZERO, "composer", "changed");
+        assert_eq!(snap.find("composer").unwrap().text, "");
+        assert_eq!(ui.root().find("composer").unwrap().text, "changed");
+    }
+}

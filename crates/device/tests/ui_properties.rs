@@ -1,0 +1,103 @@
+//! Property-based tests for the UI layout tree.
+
+use device::ui::{UiTree, View, ViewSignature};
+use proptest::prelude::*;
+use simcore::{DetRng, SimTime};
+
+/// Build a random view tree from a node-count budget.
+fn arb_view(depth: u32) -> impl Strategy<Value = View> {
+    let leaf = (0u32..1000, any::<bool>()).prop_map(|(n, visible)| {
+        let mut v = View::new("TextView", &format!("leaf{n}")).with_text(&format!("text{n}"));
+        v.visible = visible;
+        v
+    });
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        (0u32..1000, prop::collection::vec(inner, 0..4)).prop_map(|(n, children)| {
+            let mut v = View::new("LinearLayout", &format!("group{n}"));
+            v.children = children;
+            v
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `count` equals the number of nodes reachable by traversal.
+    #[test]
+    fn count_matches_traversal(root in arb_view(3)) {
+        fn walk(v: &View) -> usize {
+            1 + v.children.iter().map(walk).sum::<usize>()
+        }
+        prop_assert_eq!(root.count(), walk(&root));
+    }
+
+    /// Every node found by id satisfies the signature forms, and ids that
+    /// exist are always findable.
+    #[test]
+    fn find_and_signature_agree(root in arb_view(3)) {
+        fn collect_ids(v: &View, out: &mut Vec<String>) {
+            out.push(v.id.clone());
+            for c in &v.children {
+                collect_ids(c, out);
+            }
+        }
+        let mut ids = Vec::new();
+        collect_ids(&root, &mut ids);
+        for id in ids.iter().take(16) {
+            let by_find = root.find(id);
+            prop_assert!(by_find.is_some());
+            let by_sig = root.find_signature(&ViewSignature::by_id(id));
+            prop_assert!(by_sig.is_some());
+            prop_assert_eq!(&by_find.unwrap().id, &by_sig.unwrap().id);
+        }
+        prop_assert!(root.find("definitely-not-a-real-id").is_none());
+    }
+
+    /// `any_text_contains` is exactly "some node's text contains needle".
+    #[test]
+    fn text_search_is_exhaustive(root in arb_view(3), probe in 0u32..1200) {
+        fn any_manual(v: &View, needle: &str) -> bool {
+            v.text.contains(needle) || v.children.iter().any(|c| any_manual(c, needle))
+        }
+        let needle = format!("text{probe}");
+        prop_assert_eq!(root.any_text_contains(&needle), any_manual(&root, &needle));
+    }
+
+    /// Camera draw times are monotone and each records its `t_ui`, whatever
+    /// the mutation order.
+    #[test]
+    fn camera_times_are_monotone(steps in prop::collection::vec(0u64..10_000, 1..60)) {
+        let mut times = steps.clone();
+        times.sort_unstable();
+        let root = View::new("FrameLayout", "root")
+            .with_child(View::new("TextView", "label"));
+        let mut ui = UiTree::new(root, DetRng::seed_from_u64(3));
+        for (i, t_ms) in times.iter().enumerate() {
+            ui.set_text(SimTime::from_millis(*t_ms), "label", &format!("v{i}"));
+        }
+        let draws: Vec<SimTime> = ui.camera.iter().map(|(at, _)| at).collect();
+        prop_assert_eq!(draws.len(), times.len());
+        prop_assert!(draws.windows(2).all(|w| w[0] <= w[1]));
+        for ((at, ev), t_ms) in ui.camera.iter().zip(times.iter()) {
+            prop_assert_eq!(ev.changed_at, SimTime::from_millis(*t_ms));
+            prop_assert!(at >= ev.changed_at);
+        }
+    }
+
+    /// Snapshots never alias the live tree.
+    #[test]
+    fn snapshots_are_deep_copies(texts in prop::collection::vec("[a-z]{1,8}", 1..10)) {
+        let root = View::new("FrameLayout", "root")
+            .with_child(View::new("TextView", "label"));
+        let mut ui = UiTree::new(root, DetRng::seed_from_u64(4));
+        let mut snaps = Vec::new();
+        for (i, text) in texts.iter().enumerate() {
+            ui.set_text(SimTime::from_millis(i as u64), "label", text);
+            snaps.push(ui.snapshot());
+        }
+        for (snap, text) in snaps.iter().zip(texts.iter()) {
+            prop_assert_eq!(&snap.find("label").unwrap().text, text);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Point-to-point links.
+//!
+//! A [`Pipe`] is one direction of a link: a serializing transmitter
+//! (bandwidth), a propagation delay with optional jitter, random loss, and a
+//! drop-tail queue bounded in bytes. WiFi, the wired core network, and the
+//! server access path are all `Pipe` pairs with different parameters; the
+//! cellular radio bearer in the `radio` crate replaces the serializer with
+//! the RLC model but reuses the same packet hand-off conventions.
+
+use crate::packet::IpPacket;
+use simcore::{DetRng, EventQueue, SimDuration, SimTime};
+
+/// Link parameters.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Serialization rate in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Standard deviation of per-packet latency jitter, as a fraction of
+    /// `latency`. Delivery order is still FIFO.
+    pub jitter_frac: f64,
+    /// Independent per-packet loss probability.
+    pub loss: f64,
+    /// Transmit queue bound in bytes (drop-tail). `0` means unbounded.
+    pub queue_bytes: u64,
+}
+
+impl LinkConfig {
+    /// A symmetric-parameter helper for tests: given rate and delay.
+    pub fn simple(bandwidth_bps: f64, latency: SimDuration) -> LinkConfig {
+        LinkConfig { bandwidth_bps, latency, jitter_frac: 0.0, loss: 0.0, queue_bytes: 0 }
+    }
+}
+
+/// Delivery counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipeStats {
+    /// Packets offered to the pipe.
+    pub offered: u64,
+    /// Packets delivered to the far end.
+    pub delivered: u64,
+    /// Packets dropped by random loss.
+    pub lost: u64,
+    /// Packets dropped because the transmit queue was full.
+    pub overflowed: u64,
+}
+
+/// One direction of a link.
+pub struct Pipe {
+    cfg: LinkConfig,
+    /// When the transmitter finishes its current backlog.
+    tx_free_at: SimTime,
+    /// Arrival time of the most recently scheduled packet (FIFO enforcement).
+    last_arrival: SimTime,
+    inflight: EventQueue<IpPacket>,
+    rng: DetRng,
+    /// Delivery counters.
+    pub stats: PipeStats,
+}
+
+impl Pipe {
+    /// New pipe with the given parameters and RNG stream.
+    pub fn new(cfg: LinkConfig, rng: DetRng) -> Pipe {
+        Pipe {
+            cfg,
+            tx_free_at: SimTime::ZERO,
+            last_arrival: SimTime::ZERO,
+            inflight: EventQueue::new(),
+            rng,
+            stats: PipeStats::default(),
+        }
+    }
+
+    /// Current transmit backlog expressed in bytes.
+    pub fn backlog_bytes(&self, now: SimTime) -> u64 {
+        let backlog = self.tx_free_at.saturating_since(now);
+        (backlog.as_secs_f64() * self.cfg.bandwidth_bps / 8.0) as u64
+    }
+
+    /// Offer a packet for transmission at `now`.
+    pub fn send(&mut self, pkt: IpPacket, now: SimTime) {
+        self.stats.offered += 1;
+        if self.cfg.queue_bytes > 0
+            && self.backlog_bytes(now) + pkt.wire_len() as u64 > self.cfg.queue_bytes
+        {
+            self.stats.overflowed += 1;
+            return;
+        }
+        if self.cfg.loss > 0.0 && self.rng.chance(self.cfg.loss) {
+            self.stats.lost += 1;
+            // Loss still consumes air time on a real link; modelling it as
+            // pre-queue loss keeps the serializer conservative and simple.
+            return;
+        }
+        let start = now.max(self.tx_free_at);
+        let tx = SimDuration::from_secs_f64(pkt.wire_len() as f64 * 8.0 / self.cfg.bandwidth_bps);
+        self.tx_free_at = start + tx;
+        let mut latency = self.cfg.latency;
+        if self.cfg.jitter_frac > 0.0 {
+            latency = self.rng.jittered(self.cfg.latency, self.cfg.jitter_frac);
+        }
+        let arrival = (self.tx_free_at + latency).max(self.last_arrival);
+        self.last_arrival = arrival;
+        self.inflight.push(arrival, pkt);
+    }
+
+    /// Take every packet that has arrived by `now`.
+    pub fn deliver(&mut self, now: SimTime) -> Vec<IpPacket> {
+        let mut out = Vec::new();
+        while let Some((_, pkt)) = self.inflight.pop_due(now) {
+            self.stats.delivered += 1;
+            out.push(pkt);
+        }
+        out
+    }
+
+    /// Earliest pending arrival.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        self.inflight.next_at()
+    }
+
+    /// Number of packets in flight (queued or propagating).
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{IpAddr, SocketAddr};
+    use crate::packet::{Proto, TcpFlags, TcpHeader};
+
+    fn pkt(id: u64, len: u32) -> IpPacket {
+        IpPacket {
+            id,
+            src: SocketAddr::new(IpAddr::new(10, 0, 0, 1), 1),
+            dst: SocketAddr::new(IpAddr::new(10, 0, 0, 2), 2),
+            proto: Proto::Tcp,
+            tcp: Some(TcpHeader { seq: 0, ack: 0, flags: TcpFlags::default() }),
+            payload_len: len,
+            udp_payload: None,
+            markers: Vec::new(),
+        }
+    }
+
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn delivery_delay_is_serialization_plus_latency() {
+        // 1 Mb/s, 10 ms latency, 1000-byte frame (1040 wire bytes).
+        let cfg = LinkConfig::simple(1e6, SimDuration::from_millis(10));
+        let mut p = Pipe::new(cfg, rng());
+        p.send(pkt(1, 1000), SimTime::ZERO);
+        let expected = SimDuration::from_secs_f64(1040.0 * 8.0 / 1e6) + SimDuration::from_millis(10);
+        assert_eq!(p.next_wake(), Some(SimTime::ZERO + expected));
+        assert!(p.deliver(SimTime::ZERO + expected - SimDuration::from_micros(1)).is_empty());
+        assert_eq!(p.deliver(SimTime::ZERO + expected).len(), 1);
+    }
+
+    #[test]
+    fn back_to_back_packets_serialize() {
+        let cfg = LinkConfig::simple(8e6, SimDuration::ZERO); // 1 byte per us
+        let mut p = Pipe::new(cfg, rng());
+        p.send(pkt(1, 960), SimTime::ZERO); // 1000 wire bytes -> 1000 us
+        p.send(pkt(2, 960), SimTime::ZERO);
+        let first = p.deliver(SimTime::from_micros(1000));
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].id, 1);
+        let second = p.deliver(SimTime::from_micros(2000));
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].id, 2);
+    }
+
+    #[test]
+    fn queue_cap_drops_excess() {
+        let mut cfg = LinkConfig::simple(8e3, SimDuration::ZERO); // 1 byte per ms
+        cfg.queue_bytes = 2_000;
+        let mut p = Pipe::new(cfg, rng());
+        // Each packet is 1040 wire bytes; the second exceeds the 2000-byte cap.
+        p.send(pkt(1, 1000), SimTime::ZERO);
+        p.send(pkt(2, 1000), SimTime::ZERO);
+        assert_eq!(p.stats.overflowed, 1);
+        assert_eq!(p.in_flight(), 1);
+    }
+
+    #[test]
+    fn loss_drops_packets_probabilistically() {
+        let mut cfg = LinkConfig::simple(1e9, SimDuration::ZERO);
+        cfg.loss = 0.5;
+        let mut p = Pipe::new(cfg, rng());
+        for i in 0..1000 {
+            p.send(pkt(i, 100), SimTime::ZERO);
+        }
+        assert!(p.stats.lost > 350 && p.stats.lost < 650, "lost {}", p.stats.lost);
+        assert_eq!(p.stats.delivered + p.in_flight() as u64 + p.stats.lost, 1000);
+    }
+
+    #[test]
+    fn jitter_preserves_fifo_order() {
+        let mut cfg = LinkConfig::simple(1e9, SimDuration::from_millis(50));
+        cfg.jitter_frac = 0.5;
+        let mut p = Pipe::new(cfg, rng());
+        for i in 0..200 {
+            p.send(pkt(i, 100), SimTime::from_micros(i * 10));
+        }
+        let delivered = p.deliver(SimTime::from_secs(10));
+        assert_eq!(delivered.len(), 200);
+        let ids: Vec<u64> = delivered.iter().map(|p| p.id).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "reordered: {ids:?}");
+    }
+
+    #[test]
+    fn backlog_reports_queue_depth() {
+        let cfg = LinkConfig::simple(8e6, SimDuration::ZERO); // 1 MB/s
+        let mut p = Pipe::new(cfg, rng());
+        p.send(pkt(1, 9960), SimTime::ZERO); // 10_000 wire bytes
+        assert_eq!(p.backlog_bytes(SimTime::ZERO), 10_000);
+        assert_eq!(p.backlog_bytes(SimTime::from_millis(5)), 5_000);
+        assert_eq!(p.backlog_bytes(SimTime::from_millis(20)), 0);
+    }
+}

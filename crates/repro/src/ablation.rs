@@ -1,0 +1,228 @@
+//! Ablation studies of the design choices DESIGN.md calls out.
+//!
+//! * **Mapper mechanisms**: the long-jump mapping's two resync mechanisms —
+//!   sequence-gap credit and LI-bridge rescue — each exist to survive QxDM
+//!   record loss. Turning them off quantifies their contribution to the
+//!   Table 3 mapping ratios (and shows the off-by-one cascade the gap
+//!   credit prevents on identical-looking ACK chains).
+//! * **Calibration**: raw vs §5.1-calibrated measurement error against the
+//!   screen ground truth.
+//! * **Throttle discipline**: the same token rate applied as shaping vs
+//!   policing to the same video (the mechanism behind Finding 7, isolated
+//!   from carrier-technology differences).
+
+use crate::exp72::{run_posts, PostKind};
+use crate::scenario::{youtube_world, NetKind};
+use device::apps::VideoSpec;
+use device::{UiEvent, ViewSignature};
+use netstack::pcap::Direction;
+use netstack::IpPacket;
+use qoe_doctor::analyze::crosslayer::{
+    long_jump_map_with, score_mapping, MapperOptions, MappingScore,
+};
+use qoe_doctor::Controller;
+use simcore::{SimDuration, SimTime};
+use std::fmt;
+
+/// One mapper-ablation row.
+#[derive(Debug, Clone)]
+pub struct MapperAblationRow {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Uplink score.
+    pub ul: MappingScore,
+    /// Downlink score.
+    pub dl: MappingScore,
+}
+
+impl fmt::Display for MapperAblationRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} ul mapped {:>5.1}% correct {:>5.1}% | dl mapped {:>5.1}% correct {:>5.1}%",
+            self.config,
+            self.ul.mapped_ratio * 100.0,
+            self.ul.correct_ratio * 100.0,
+            self.dl.mapped_ratio * 100.0,
+            self.dl.correct_ratio * 100.0,
+        )
+    }
+}
+
+/// Run the mapper ablation on a 3G photo-upload trace.
+pub fn mapper_ablation(reps: usize, seed: u64) -> Vec<MapperAblationRow> {
+    let col = run_posts(PostKind::Photos, NetKind::Umts3g, reps, seed);
+    let qxdm = col.qxdm.as_ref().expect("cellular");
+    let truth = col.pdu_truth.as_ref().expect("truth");
+    let configs: [(&'static str, MapperOptions); 4] = [
+        ("full (gap credit + bridge)", MapperOptions::default()),
+        (
+            "no gap credit",
+            MapperOptions { gap_credit: false, ..MapperOptions::default() },
+        ),
+        (
+            "no bridge rescue",
+            MapperOptions { bridge_rescue: false, ..MapperOptions::default() },
+        ),
+        (
+            "neither",
+            MapperOptions {
+                gap_credit: false,
+                bridge_rescue: false,
+                ..MapperOptions::default()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, opts) in configs {
+        let score = |dir: Direction| -> MappingScore {
+            let pkts: Vec<(SimTime, &IpPacket)> = col
+                .trace
+                .iter()
+                .filter(|(_, r)| r.dir == dir)
+                .map(|(at, r)| (at, &r.pkt))
+                .collect();
+            let mapped = long_jump_map_with(&pkts, qxdm, dir, opts);
+            score_mapping(&mapped, truth, dir)
+        };
+        rows.push(MapperAblationRow {
+            config: label,
+            ul: score(Direction::Uplink),
+            dl: score(Direction::Downlink),
+        });
+    }
+    rows
+}
+
+/// One calibration-ablation row: measurement error with and without the
+/// §5.1 calibration.
+#[derive(Debug, Clone)]
+pub struct CalibrationRow {
+    /// Samples.
+    pub n: usize,
+    /// Mean |raw − truth| in ms.
+    pub raw_err_ms: f64,
+    /// Mean |calibrated − truth| in ms.
+    pub calibrated_err_ms: f64,
+}
+
+impl fmt::Display for CalibrationRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "calibration: n={} raw err {:>5.1} ms -> calibrated err {:>5.1} ms",
+            self.n, self.raw_err_ms, self.calibrated_err_ms
+        )
+    }
+}
+
+/// Measure the calibration's contribution on status posts.
+pub fn calibration_ablation(reps: usize, seed: u64) -> CalibrationRow {
+    use qoe_doctor::analyze::app::screen_event_at;
+    let col = run_posts(PostKind::Status, NetKind::Lte, reps, seed);
+    let mut raw = Vec::new();
+    let mut cal = Vec::new();
+    for (_, rec) in col.behavior.iter() {
+        if rec.timed_out {
+            continue;
+        }
+        let slack = SimDuration::from_millis(500);
+        let Some(screen_end) =
+            screen_event_at(&col.camera, "news_feed:item:", rec.start, rec.end + slack)
+        else {
+            continue;
+        };
+        let truth = screen_end.saturating_since(rec.start).as_secs_f64();
+        raw.push((rec.raw().as_secs_f64() - truth).abs() * 1e3);
+        cal.push((rec.calibrated().as_secs_f64() - truth).abs() * 1e3);
+    }
+    let n = raw.len();
+    CalibrationRow {
+        n,
+        raw_err_ms: raw.iter().sum::<f64>() / n.max(1) as f64,
+        calibrated_err_ms: cal.iter().sum::<f64>() / n.max(1) as f64,
+    }
+}
+
+/// One throttle-discipline row: the throughput signature of Finding 7.
+#[derive(Debug, Clone)]
+pub struct DisciplineRow {
+    /// Discipline label.
+    pub label: &'static str,
+    /// Mean downlink throughput (b/s).
+    pub mean_bps: f64,
+    /// Standard deviation of per-second throughput.
+    pub std_bps: f64,
+    /// TCP retransmissions observed in the trace.
+    pub retx: u32,
+    /// Rebuffering ratio over the watch.
+    pub rebuffering: f64,
+}
+
+impl fmt::Display for DisciplineRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} mean {:>6.3} Mb/s  sd {:>6.3} Mb/s  retx {:>4}  rebuffering {:>5.2}",
+            self.label,
+            self.mean_bps / 1e6,
+            self.std_bps / 1e6,
+            self.retx,
+            self.rebuffering
+        )
+    }
+}
+
+/// Same token rate, same technology (LTE), shaping vs policing: isolates
+/// the discipline's throughput signature (Finding 7) from the 3G/LTE
+/// differences. Shaping should show a smooth plateau near the token rate
+/// with few retransmissions; policing a lower, bursty mean with many.
+pub fn discipline_ablation(rate_bps: f64, seed: u64) -> Vec<DisciplineRow> {
+    use netstack::ShaperConfig;
+    use qoe_doctor::analyze::transport::{downlink_throughput, TransportReport};
+    use radio::bearer::BearerConfig;
+
+    let run = |label: &'static str, cfg: ShaperConfig| -> DisciplineRow {
+        let mut bearer = BearerConfig::lte();
+        bearer.limiter_dl = Some(cfg.clone());
+        bearer.limiter_ul = Some(cfg);
+        bearer.qxdm.log_pdus = false;
+        let video = VideoSpec {
+            name: "abl".into(),
+            duration: SimDuration::from_secs(200),
+            bitrate_bps: 450e3,
+        };
+        // Assemble via the scenario builder, then swap in the custom bearer.
+        let mut world = youtube_world(vec![video], None, NetKind::Lte, seed, true);
+        let mut rng = simcore::DetRng::seed_from_u64(seed ^ 0xD15C);
+        world.phone.net = device::NetAttachment::Cell(Box::new(
+            radio::bearer::CellBearer::new(bearer, &mut rng),
+        ));
+        let mut doctor = Controller::new(world);
+        doctor.advance(SimDuration::from_secs(5));
+        doctor.interact(&UiEvent::TypeText {
+            target: ViewSignature::by_id("search_box"),
+            text: String::new(),
+        });
+        doctor.interact(&UiEvent::KeyEnter);
+        doctor.advance(SimDuration::from_secs(5));
+        doctor.interact(&UiEvent::Click {
+            target: ViewSignature::by_id("result_abl"),
+        });
+        let report = doctor.monitor_playback("video", SimDuration::from_secs(280));
+        let col = doctor.collect();
+        let series = downlink_throughput(&col.trace, 1.0);
+        let tr = TransportReport::analyze(&col.trace);
+        DisciplineRow {
+            label,
+            mean_bps: series.mean(),
+            std_bps: series.std_dev(),
+            retx: tr.total_retx(),
+            rebuffering: report.rebuffering_ratio(),
+        }
+    };
+    vec![
+        run("LTE + shaping", ShaperConfig::shaping(rate_bps)),
+        run("LTE + policing", ShaperConfig::policing(rate_bps)),
+    ]
+}

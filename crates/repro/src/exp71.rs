@@ -1,0 +1,296 @@
+//! §7.1 — Tool accuracy and overhead (Table 3 and Fig. 6).
+//!
+//! Each of the five user-perceived latency metrics is replayed repeatedly;
+//! the calibrated measurement is compared against the on-screen ground
+//! truth (the paper's 60 fps camera; here the simulator's draw log). The
+//! section also reports the IP→RLC mapping ratios of §5.4.2 and the
+//! controller's CPU overhead.
+
+use crate::exp72::{run_posts, PostKind};
+use crate::scenario::{facebook_world, youtube_world, browser_world, NetKind};
+use device::apps::{BrowserConfig, FbVersion, VideoSpec};
+use device::{UiEvent, ViewSignature};
+use netstack::pcap::Direction;
+use netstack::IpPacket;
+use qoe_doctor::analyze::app::{accuracy_span, accuracy_trigger, AccuracySample};
+use qoe_doctor::analyze::crosslayer::{long_jump_map, score_mapping, MappingScore};
+use qoe_doctor::{BehaviorRecord, Controller, WaitCondition};
+use simcore::{SimDuration, SimTime};
+use std::fmt;
+
+/// Accuracy for one latency metric (one Fig. 6 bar).
+#[derive(Debug, Clone)]
+pub struct MetricAccuracy {
+    /// Metric name.
+    pub metric: &'static str,
+    /// Number of comparable measurements.
+    pub n: usize,
+    /// Mean |measured − truth| in milliseconds.
+    pub mean_error_ms: f64,
+    /// Maximum |measured − truth| in milliseconds (Table 3's `t_d`).
+    pub max_error_ms: f64,
+    /// Upper bound of the error ratio, computed as the paper does: the
+    /// mean error `t_d` over the *shortest* ground-truth latency observed.
+    pub max_ratio_percent: f64,
+}
+
+impl fmt::Display for MetricAccuracy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<26} n={:<3} mean err {:>5.1} ms  max err {:>5.1} ms  ratio <= {:>4.2}%",
+            self.metric, self.n, self.mean_error_ms, self.max_error_ms, self.max_ratio_percent
+        )
+    }
+}
+
+fn summarize(metric: &'static str, samples: &[AccuracySample]) -> MetricAccuracy {
+    let n = samples.len();
+    if n == 0 {
+        return MetricAccuracy {
+            metric,
+            n,
+            mean_error_ms: 0.0,
+            max_error_ms: 0.0,
+            max_ratio_percent: 0.0,
+        };
+    }
+    let errors: Vec<f64> = samples.iter().map(|s| s.error.as_secs_f64() * 1e3).collect();
+    let mean = errors.iter().sum::<f64>() / n as f64;
+    let max = errors.iter().cloned().fold(0.0, f64::max);
+    let min_truth = samples
+        .iter()
+        .map(|s| s.truth.as_secs_f64())
+        .fold(f64::INFINITY, f64::min);
+    MetricAccuracy {
+        metric,
+        n,
+        mean_error_ms: mean,
+        max_error_ms: max,
+        // §7.1: "the average time difference t_d … the ratio of t_d to
+        // t_screen … we use the shortest t_screen among all experiments".
+        max_ratio_percent: if min_truth > 0.0 { mean / (min_truth * 1e3) * 100.0 } else { 0.0 },
+    }
+}
+
+/// Facebook post-update accuracy: status posts on LTE.
+fn posts_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
+    let world = facebook_world(
+        FbVersion::ListView50,
+        None,
+        false,
+        None,
+        crate::scenario::PUSH_BYTES,
+        NetKind::Lte,
+        seed,
+        true,
+    );
+    let mut doctor = Controller::new(world);
+    doctor.advance(SimDuration::from_secs(10));
+    let mut labelled: Vec<(BehaviorRecord, String)> = Vec::new();
+    for rep in 0..reps {
+        let text = format!("status: accuracy ts#{rep}");
+        doctor.interact(&UiEvent::TypeText {
+            target: ViewSignature::by_id("composer"),
+            text: text.clone(),
+        });
+        let m = doctor.measure_after(
+            "upload_post:status",
+            &UiEvent::Click { target: ViewSignature::by_id("post_button") },
+            &WaitCondition::TextAppears { container: "news_feed".into(), needle: text.clone() },
+            SimDuration::from_secs(60),
+        );
+        labelled.push((m.record, format!("news_feed:item:{text}")));
+        doctor.advance(SimDuration::from_secs(2));
+    }
+    let col = doctor.collect();
+    let samples: Vec<AccuracySample> = labelled
+        .iter()
+        .filter_map(|(rec, label)| accuracy_trigger(rec, &col.camera, label))
+        .collect();
+    summarize("Facebook post updates", &samples)
+}
+
+/// Pull-to-update accuracy (span metric).
+fn pull_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
+    let world = facebook_world(
+        FbVersion::ListView50,
+        None,
+        true,
+        Some(SimDuration::from_secs(30)),
+        2_400,
+        NetKind::Lte,
+        seed,
+        true,
+    );
+    let mut doctor = Controller::new(world);
+    doctor.advance(SimDuration::from_secs(5));
+    let mut records = Vec::new();
+    for _ in 0..reps {
+        if let Some(m) = doctor.measure_span(
+            "pull_to_update",
+            &WaitCondition::Shown { id: "feed_progress".into() },
+            &WaitCondition::Hidden { id: "feed_progress".into() },
+            SimDuration::from_secs(60),
+        ) {
+            records.push(m.record);
+        }
+    }
+    let col = doctor.collect();
+    let samples: Vec<AccuracySample> = records
+        .iter()
+        .filter_map(|rec| {
+            accuracy_span(rec, &col.camera, "feed_progress:show", "feed_progress:hide")
+        })
+        .collect();
+    summarize("Facebook pull-to-update", &samples)
+}
+
+/// YouTube initial loading + rebuffering accuracy.
+fn video_accuracy(reps: usize, seed: u64) -> (MetricAccuracy, MetricAccuracy) {
+    // Throttled 3G induces rebuffering events for the span metric.
+    let videos: Vec<VideoSpec> = (0..reps)
+        .map(|i| VideoSpec {
+            name: format!("v{i}"),
+            duration: SimDuration::from_secs(30),
+            bitrate_bps: 400e3,
+        })
+        .collect();
+    let world =
+        youtube_world(videos.clone(), None, NetKind::Umts3gThrottled(200e3), seed, true);
+    let mut doctor = Controller::new(world);
+    doctor.advance(SimDuration::from_secs(5));
+    doctor.interact(&UiEvent::TypeText {
+        target: ViewSignature::by_id("search_box"),
+        text: String::new(),
+    });
+    doctor.interact(&UiEvent::KeyEnter);
+    doctor.advance(SimDuration::from_secs(10));
+    let mut loading_records = Vec::new();
+    for spec in &videos {
+        let m = doctor.measure_after(
+            "video:initial_loading",
+            &UiEvent::Click { target: ViewSignature::by_id(&format!("result_{}", spec.name)) },
+            &WaitCondition::Hidden { id: "player_progress".into() },
+            SimDuration::from_secs(200),
+        );
+        if !m.record.timed_out {
+            loading_records.push(m.record);
+        }
+        doctor.monitor_playback("video", SimDuration::from_secs(200));
+        doctor.advance(SimDuration::from_secs(3));
+    }
+    let col = doctor.collect();
+    let loading: Vec<AccuracySample> = loading_records
+        .iter()
+        .filter_map(|rec| accuracy_trigger(rec, &col.camera, "player_progress:hide"))
+        .collect();
+    let rebuffer: Vec<AccuracySample> = col
+        .behavior
+        .iter()
+        .filter(|(_, r)| r.action == "video:rebuffer" && !r.timed_out)
+        .filter_map(|(_, r)| {
+            accuracy_span(r, &col.camera, "player_progress:show", "player_progress:hide")
+        })
+        // Exclude stream-end micro-stalls: the paper's rebuffering events
+        // under carrier throttling were all multi-second.
+        .filter(|s| s.truth >= SimDuration::from_secs(1))
+        .collect();
+    (summarize("YouTube initial loading", &loading), summarize("YouTube rebuffering", &rebuffer))
+}
+
+/// Page-load accuracy.
+fn page_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
+    let world = browser_world(BrowserConfig::chrome(), NetKind::Wifi, seed);
+    let mut doctor = Controller::new(world);
+    doctor.advance(SimDuration::from_secs(2));
+    doctor.interact(&UiEvent::TypeText {
+        target: ViewSignature::by_id("url_bar"),
+        text: "http://www.example.com/".into(),
+    });
+    let mut records = Vec::new();
+    for _ in 0..reps {
+        let m = doctor.measure_after(
+            "page_load",
+            &UiEvent::KeyEnter,
+            &WaitCondition::Hidden { id: "page_progress".into() },
+            SimDuration::from_secs(60),
+        );
+        if !m.record.timed_out {
+            records.push(m.record);
+        }
+        doctor.advance(SimDuration::from_secs(5));
+    }
+    let col = doctor.collect();
+    let samples: Vec<AccuracySample> = records
+        .iter()
+        .filter_map(|rec| accuracy_trigger(rec, &col.camera, "page_progress:hide"))
+        .collect();
+    summarize("Web page loading", &samples)
+}
+
+/// Mapping ratios and CPU overhead from a 3G photo-upload session.
+#[derive(Debug, Clone)]
+pub struct ToolOverhead {
+    /// Uplink IP→RLC mapping score.
+    pub ul_mapping: MappingScore,
+    /// Downlink IP→RLC mapping score.
+    pub dl_mapping: MappingScore,
+    /// Controller CPU share of total CPU during the session (%).
+    pub cpu_overhead_percent: f64,
+}
+
+impl fmt::Display for ToolOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mapping ul {:>5.2}% (correct {:>5.1}%)  dl {:>5.2}% (correct {:>5.1}%)  cpu overhead {:>4.2}%",
+            self.ul_mapping.mapped_ratio * 100.0,
+            self.ul_mapping.correct_ratio * 100.0,
+            self.dl_mapping.mapped_ratio * 100.0,
+            self.dl_mapping.correct_ratio * 100.0,
+            self.cpu_overhead_percent
+        )
+    }
+}
+
+/// Compute Table 3's mapping + overhead rows.
+pub fn overhead(reps: usize, seed: u64) -> ToolOverhead {
+    let col = run_posts(PostKind::Photos, NetKind::Umts3g, reps, seed);
+    let qxdm = col.qxdm.as_ref().expect("cellular");
+    let truth = col.pdu_truth.as_ref().expect("truth log");
+    let map_dir = |dir: Direction| -> MappingScore {
+        let pkts: Vec<(SimTime, &IpPacket)> = col
+            .trace
+            .iter()
+            .filter(|(_, r)| r.dir == dir)
+            .map(|(at, r)| (at, &r.pkt))
+            .collect();
+        let mapped = long_jump_map(&pkts, qxdm, dir);
+        score_mapping(&mapped, truth, dir)
+    };
+    let cpu = col.cpu;
+    let total =
+        cpu.app_busy.as_secs_f64() + cpu.controller_busy.as_secs_f64();
+    ToolOverhead {
+        ul_mapping: map_dir(Direction::Uplink),
+        dl_mapping: map_dir(Direction::Downlink),
+        cpu_overhead_percent: if total > 0.0 {
+            cpu.controller_busy.as_secs_f64() / total * 100.0
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Run the full §7.1 evaluation: Fig. 6's five bars plus Table 3.
+pub fn run(reps: usize, seed: u64) -> (Vec<MetricAccuracy>, ToolOverhead) {
+    let mut bars = Vec::new();
+    bars.push(posts_accuracy(reps, seed));
+    bars.push(pull_accuracy(reps, seed ^ 1));
+    let (loading, rebuffer) = video_accuracy(reps.min(10), seed ^ 2);
+    bars.push(loading);
+    bars.push(rebuffer);
+    bars.push(page_accuracy(reps, seed ^ 3));
+    (bars, overhead(reps.min(10), seed ^ 4))
+}

@@ -1,0 +1,259 @@
+//! §7.2 — Facebook post uploading time breakdown (Figs. 7 and 8).
+//!
+//! Replays status / check-in / 2-photo posts on C1 3G and C1 LTE, splits
+//! each QoE window into device vs network delay (Fig. 7), and for the
+//! 2-photo upload breaks the network latency into IP-to-RLC, RLC
+//! transmission, first-hop OTA and other delay via the long-jump mapping
+//! (Fig. 8). Also reports the PDU-count comparison behind Finding 2.
+
+use crate::scenario::{facebook_world, NetKind, PUSH_BYTES};
+use device::apps::FbVersion;
+use device::{UiEvent, ViewSignature};
+use netstack::pcap::Direction;
+use netstack::IpPacket;
+use qoe_doctor::analyze::crosslayer::{
+    long_jump_map, net_latency_breakdown, window_breakdown, NetLatencyBreakdown,
+};
+use qoe_doctor::{Collection, Controller, WaitCondition};
+use simcore::{SimDuration, SimTime, Summary};
+use std::fmt;
+
+/// The three post kinds of Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostKind {
+    /// Text status.
+    Status,
+    /// Check-in.
+    Checkin,
+    /// Two photos.
+    Photos,
+}
+
+impl PostKind {
+    fn composer_text(&self, rep: usize) -> String {
+        match self {
+            PostKind::Status => format!("status: qoe-doctor ts#{rep}"),
+            PostKind::Checkin => format!("checkin: somewhere ts#{rep}"),
+            PostKind::Photos => format!("photos: vacation ts#{rep}"),
+        }
+    }
+
+    /// Label used in the behaviour log.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PostKind::Status => "upload_post:status",
+            PostKind::Checkin => "upload_post:checkin",
+            PostKind::Photos => "upload_post:photos",
+        }
+    }
+}
+
+/// Replay `reps` posts of `kind` and return the collection.
+pub fn run_posts(kind: PostKind, net: NetKind, reps: usize, seed: u64) -> Collection {
+    let world = facebook_world(
+        FbVersion::ListView50,
+        None, // background refresh off: §7.2 isolates the post action
+        false,
+        None,
+        PUSH_BYTES,
+        net,
+        seed,
+        false,
+    );
+    let mut doctor = Controller::new(world);
+    // Let the app launch and the push channel settle, then go radio-idle.
+    doctor.advance(SimDuration::from_secs(30));
+    for rep in 0..reps {
+        let text = kind.composer_text(rep);
+        doctor.interact(&UiEvent::TypeText {
+            target: ViewSignature::by_id("composer"),
+            text: text.clone(),
+        });
+        doctor.measure_after(
+            kind.label(),
+            &UiEvent::Click { target: ViewSignature::by_id("post_button") },
+            &WaitCondition::TextAppears { container: "news_feed".into(), needle: text },
+            SimDuration::from_secs(120),
+        );
+        // The paper posts every 2 s, which keeps the radio in a high-power
+        // state between posts.
+        doctor.advance(SimDuration::from_secs(2));
+    }
+    // Let async uploads drain before collecting.
+    doctor.advance(SimDuration::from_secs(30));
+    doctor.collect()
+}
+
+/// One Fig. 7 bar: device/network split for an action on a network.
+#[derive(Debug, Clone)]
+pub struct PostBreakdownRow {
+    /// Network label.
+    pub net: String,
+    /// Action label.
+    pub action: &'static str,
+    /// Calibrated user-perceived latency (seconds).
+    pub user: Summary,
+    /// Network share (seconds).
+    pub network: Summary,
+    /// Device share (seconds).
+    pub device: Summary,
+    /// Fraction of reps where the server response fell outside the window
+    /// (local echo, Finding 1).
+    pub response_outside: f64,
+}
+
+/// Compute a Fig. 7 row from a collection.
+pub fn breakdown_rows(col: &Collection, net: &str, action: &'static str) -> PostBreakdownRow {
+    let mut user = Vec::new();
+    let mut network = Vec::new();
+    let mut device = Vec::new();
+    let mut outside = 0usize;
+    let mut n = 0usize;
+    for (_, rec) in col.behavior.iter() {
+        if rec.action != action || rec.timed_out {
+            continue;
+        }
+        let b = window_breakdown(rec, &col.trace);
+        user.push(b.user_latency.as_secs_f64());
+        network.push(b.network_latency.as_secs_f64());
+        device.push(b.device_latency.as_secs_f64());
+        if b.response_outside_window {
+            outside += 1;
+        }
+        n += 1;
+    }
+    PostBreakdownRow {
+        net: net.to_string(),
+        action,
+        user: Summary::of(&user),
+        network: Summary::of(&network),
+        device: Summary::of(&device),
+        response_outside: if n == 0 { 0.0 } else { outside as f64 / n as f64 },
+    }
+}
+
+impl fmt::Display for PostBreakdownRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<4} {:<22} user {:>6.2}s (sd {:>5.2})  net {:>6.2}s  dev {:>6.2}s  resp-outside {:>4.0}%",
+            self.net,
+            self.action,
+            self.user.mean,
+            self.user.std_dev,
+            self.network.mean,
+            self.device.mean,
+            self.response_outside * 100.0
+        )
+    }
+}
+
+/// Fig. 8: the fine-grained network latency breakdown for photo uploads,
+/// plus the PDU counts behind Finding 2.
+#[derive(Debug, Clone)]
+pub struct PhotoNetBreakdown {
+    /// Network label.
+    pub net: String,
+    /// Mean component values across reps (seconds).
+    pub ip_to_rlc: f64,
+    /// RLC transmission delay.
+    pub rlc_tx: f64,
+    /// First-hop OTA waits.
+    pub ota: f64,
+    /// Everything else.
+    pub other: f64,
+    /// Mean total network latency.
+    pub total: f64,
+    /// Mean uplink PDUs per QoE window.
+    pub ul_pdus_per_post: f64,
+    /// Mean uplink IP packets per QoE window.
+    pub ul_packets_per_post: f64,
+}
+
+impl fmt::Display for PhotoNetBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<4} ip-to-rlc {:>5.2}s  rlc-tx {:>5.2}s  ota {:>5.2}s  other {:>5.2}s  (total {:>5.2}s, {:.0} PDUs/post, {:.0} pkts/post)",
+            self.net, self.ip_to_rlc, self.rlc_tx, self.ota, self.other, self.total,
+            self.ul_pdus_per_post, self.ul_packets_per_post
+        )
+    }
+}
+
+/// Compute Fig. 8 for a photo-post collection.
+pub fn photo_net_breakdown(col: &Collection, net: &str) -> Option<PhotoNetBreakdown> {
+    let qxdm = col.qxdm.as_ref()?;
+    let mut acc = NetLatencyBreakdown::default();
+    let mut pdus = 0usize;
+    let mut pkts = 0usize;
+    let mut n = 0usize;
+    for (_, rec) in col.behavior.iter() {
+        if rec.action != "upload_post:photos" || rec.timed_out {
+            continue;
+        }
+        let b = window_breakdown(rec, &col.trace);
+        // Map the window's uplink packets onto PDU chains.
+        let window_pkts: Vec<(SimTime, &IpPacket)> = col
+            .trace
+            .window(rec.start, rec.end)
+            .iter()
+            .filter(|e| e.record.dir == Direction::Uplink)
+            .map(|e| (e.at, &e.record.pkt))
+            .collect();
+        let mapped = long_jump_map(&window_pkts, qxdm, Direction::Uplink);
+        let nb = net_latency_breakdown(
+            rec.start,
+            rec.end,
+            b.network_latency,
+            &mapped,
+            qxdm,
+            Direction::Uplink,
+        );
+        acc.ip_to_rlc += nb.ip_to_rlc;
+        acc.rlc_tx += nb.rlc_tx;
+        acc.ota += nb.ota;
+        acc.other += nb.other;
+        acc.total += nb.total;
+        pdus += qxdm
+            .pdus
+            .window(rec.start, rec.end)
+            .iter()
+            .filter(|e| e.record.dir == Direction::Uplink)
+            .count();
+        pkts += window_pkts.len();
+        n += 1;
+    }
+    if n == 0 {
+        return None;
+    }
+    let k = n as f64;
+    Some(PhotoNetBreakdown {
+        net: net.to_string(),
+        ip_to_rlc: acc.ip_to_rlc.as_secs_f64() / k,
+        rlc_tx: acc.rlc_tx.as_secs_f64() / k,
+        ota: acc.ota.as_secs_f64() / k,
+        other: acc.other.as_secs_f64() / k,
+        total: acc.total.as_secs_f64() / k,
+        ul_pdus_per_post: pdus as f64 / k,
+        ul_packets_per_post: pkts as f64 / k,
+    })
+}
+
+/// Run the whole §7.2 experiment and print Fig. 7 + Fig. 8 rows.
+pub fn run(reps: usize, seed: u64) -> (Vec<PostBreakdownRow>, Vec<PhotoNetBreakdown>) {
+    let mut fig7 = Vec::new();
+    let mut fig8 = Vec::new();
+    for net in [NetKind::Umts3g, NetKind::Lte] {
+        for kind in [PostKind::Photos, PostKind::Checkin, PostKind::Status] {
+            let col = run_posts(kind, net, reps, seed ^ kind.label().len() as u64);
+            fig7.push(breakdown_rows(&col, &net.label(), kind.label()));
+            if kind == PostKind::Photos {
+                if let Some(nb) = photo_net_breakdown(&col, &net.label()) {
+                    fig8.push(nb);
+                }
+            }
+        }
+    }
+    (fig7, fig8)
+}

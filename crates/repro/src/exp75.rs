@@ -1,0 +1,251 @@
+//! §7.5 — Carrier throttling and YouTube QoE (Figs. 17–20).
+//!
+//! C1 throttles post-cap traffic instead of charging overages: 3G throttles
+//! by token-bucket *shaping*, LTE by token-bucket *policing* (Finding 7).
+//! We replay video watching over throttled and unthrottled bearers and
+//! measure the initial loading time and rebuffering ratio from the player's
+//! progress bar (Fig. 17), record the throughput signature of each
+//! discipline (Fig. 18), and sweep the throttle rate (Figs. 19–20).
+
+use crate::scenario::{video_dataset, youtube_world, NetKind};
+use device::apps::VideoSpec;
+use device::{UiEvent, ViewSignature};
+use qoe_doctor::analyze::transport::{downlink_throughput, TransportReport};
+use qoe_doctor::{Controller, WaitCondition};
+use simcore::{Cdf, DetRng, SimDuration};
+use std::fmt;
+
+/// The post-cap throttle rate C1 applies (Fig. 17).
+pub const CAP_RATE: f64 = 128e3;
+
+/// Per-video measurements.
+#[derive(Debug, Clone)]
+pub struct VideoQoe {
+    /// Video name.
+    pub name: String,
+    /// Calibrated initial loading time (seconds).
+    pub initial_loading: f64,
+    /// Rebuffering ratio after initial loading.
+    pub rebuffering: f64,
+    /// Whether playback finished within the watch timeout.
+    pub finished: bool,
+}
+
+/// One configuration's results.
+#[derive(Debug, Clone)]
+pub struct WatchRun {
+    /// Configuration label.
+    pub label: String,
+    /// Per-video results.
+    pub videos: Vec<VideoQoe>,
+}
+
+impl WatchRun {
+    /// CDF of initial loading times.
+    pub fn loading_cdf(&self) -> Cdf {
+        Cdf::of(&self.videos.iter().map(|v| v.initial_loading).collect::<Vec<_>>())
+    }
+
+    /// CDF of rebuffering ratios.
+    pub fn rebuffer_cdf(&self) -> Cdf {
+        Cdf::of(&self.videos.iter().map(|v| v.rebuffering).collect::<Vec<_>>())
+    }
+}
+
+impl fmt::Display for WatchRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let load = self.loading_cdf();
+        let rebuf = self.rebuffer_cdf();
+        write!(
+            f,
+            "{:<22} n={:<3} loading p50 {:>6.1}s p90 {:>6.1}s | rebuffer p50 {:>5.2} p90 {:>5.2}",
+            self.label,
+            self.videos.len(),
+            load.quantile(0.5),
+            load.quantile(0.9),
+            rebuf.quantile(0.5),
+            rebuf.quantile(0.9),
+        )
+    }
+}
+
+/// Watch `count` randomly-chosen dataset videos on `net`.
+pub fn run_watch(net: NetKind, count: usize, seed: u64) -> WatchRun {
+    let dataset = video_dataset(11);
+    // Random subset — pinned independently of the run seed so every
+    // configuration (and every sweep point) watches the same videos.
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    let mut rng = DetRng::seed_from_u64(777);
+    rng.shuffle(&mut order);
+    let picks: Vec<VideoSpec> =
+        order[..count.min(order.len())].iter().map(|i| dataset[*i].clone()).collect();
+
+    let world = youtube_world(dataset, None, net, seed ^ 0xBEE, true);
+    let mut doctor = Controller::new(world);
+    doctor.advance(SimDuration::from_secs(5));
+    // One search populates the results list for the whole session.
+    doctor.interact(&UiEvent::TypeText {
+        target: ViewSignature::by_id("search_box"),
+        text: String::new(),
+    });
+    doctor.interact(&UiEvent::KeyEnter);
+    doctor.advance(SimDuration::from_secs(10));
+
+    let mut videos = Vec::new();
+    for spec in &picks {
+        let m = doctor.measure_after(
+            "video:initial_loading",
+            &UiEvent::Click { target: ViewSignature::by_id(&format!("result_{}", spec.name)) },
+            &WaitCondition::Hidden { id: "player_progress".into() },
+            SimDuration::from_secs(240),
+        );
+        if m.record.timed_out {
+            videos.push(VideoQoe {
+                name: spec.name.clone(),
+                initial_loading: m.record.calibrated().as_secs_f64(),
+                rebuffering: 1.0,
+                finished: false,
+            });
+            continue;
+        }
+        // Watch to the end, recording stalls. Generous budget: a throttled
+        // link needs total_bytes / throttle_rate to drain.
+        let budget = spec.duration * 2
+            + SimDuration::from_secs_f64(spec.total_bytes() as f64 * 8.0 / 64e3)
+            + SimDuration::from_secs(60);
+        let report = doctor.monitor_playback("video", budget);
+        videos.push(VideoQoe {
+            name: spec.name.clone(),
+            initial_loading: m.record.calibrated().as_secs_f64(),
+            rebuffering: report.rebuffering_ratio(),
+            finished: report.finished,
+        });
+        doctor.advance(SimDuration::from_secs(3));
+    }
+    WatchRun { label: net.label(), videos }
+}
+
+/// Fig. 17: throttled vs unthrottled on both technologies.
+pub fn run_fig17(count: usize, seed: u64) -> Vec<WatchRun> {
+    [
+        NetKind::Umts3g,
+        NetKind::Lte,
+        NetKind::Umts3gThrottled(CAP_RATE),
+        NetKind::LteThrottled(CAP_RATE),
+    ]
+    .into_iter()
+    .map(|net| run_watch(net, count, seed))
+    .collect()
+}
+
+/// One Fig. 18 trace: per-second downlink throughput plus TCP health.
+#[derive(Debug, Clone)]
+pub struct ThroughputTrace {
+    /// Configuration label.
+    pub label: String,
+    /// Per-second throughput samples (bits/s).
+    pub series: Vec<f64>,
+    /// Mean throughput (bits/s).
+    pub mean_bps: f64,
+    /// Standard deviation of per-second throughput.
+    pub std_bps: f64,
+    /// TCP retransmissions observed in the trace.
+    pub retransmissions: u32,
+}
+
+impl fmt::Display for ThroughputTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} mean {:>6.3} Mb/s  sd {:>6.3} Mb/s  retx {:>4}",
+            self.label,
+            self.mean_bps / 1e6,
+            self.std_bps / 1e6,
+            self.retransmissions
+        )
+    }
+}
+
+/// Fig. 18: stream one long video through each throttle discipline and
+/// record the downlink throughput profile.
+pub fn run_fig18(seed: u64) -> Vec<ThroughputTrace> {
+    let spec = VideoSpec {
+        name: "trace".into(),
+        duration: SimDuration::from_secs(280),
+        bitrate_bps: 420e3,
+    };
+    let mut out = Vec::new();
+    for net in [NetKind::Umts3gThrottled(CAP_RATE), NetKind::LteThrottled(CAP_RATE)] {
+        let world = youtube_world(vec![spec.clone()], None, net, seed, true);
+        let mut doctor = Controller::new(world);
+        doctor.advance(SimDuration::from_secs(5));
+        doctor.interact(&UiEvent::TypeText {
+            target: ViewSignature::by_id("search_box"),
+            text: String::new(),
+        });
+        doctor.interact(&UiEvent::KeyEnter);
+        doctor.advance(SimDuration::from_secs(5));
+        doctor.interact(&UiEvent::Click {
+            target: ViewSignature::by_id("result_trace"),
+        });
+        doctor.advance(SimDuration::from_secs(300));
+        let col = doctor.collect();
+        let series = downlink_throughput(&col.trace, 1.0);
+        let report = TransportReport::analyze(&col.trace);
+        out.push(ThroughputTrace {
+            label: net.label(),
+            series: series.bins.clone(),
+            mean_bps: series.mean(),
+            std_bps: series.std_dev(),
+            retransmissions: report.total_retx(),
+        });
+    }
+    out
+}
+
+/// One Figs. 19/20 sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Throttle rate (bits/s).
+    pub rate_bps: f64,
+    /// Technology label.
+    pub label: String,
+    /// Mean rebuffering ratio.
+    pub rebuffering: f64,
+    /// Mean initial loading time (seconds).
+    pub initial_loading: f64,
+}
+
+impl fmt::Display for SweepPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<4} @ {:>3.0} kb/s  rebuffer {:>5.2}  loading {:>6.1}s",
+            self.label,
+            self.rate_bps / 1e3,
+            self.rebuffering,
+            self.initial_loading
+        )
+    }
+}
+
+/// Figs. 19/20: sweep the throttled bandwidth on both technologies.
+pub fn run_sweep(videos_per_point: usize, seed: u64) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for rate in [100e3, 200e3, 300e3, 400e3, 500e3] {
+        for (label, net) in [
+            ("3G", NetKind::Umts3gThrottled(rate)),
+            ("LTE", NetKind::LteThrottled(rate)),
+        ] {
+            let run = run_watch(net, videos_per_point, seed ^ rate as u64);
+            let n = run.videos.len().max(1) as f64;
+            out.push(SweepPoint {
+                rate_bps: rate,
+                label: label.into(),
+                rebuffering: run.videos.iter().map(|v| v.rebuffering).sum::<f64>() / n,
+                initial_loading: run.videos.iter().map(|v| v.initial_loading).sum::<f64>() / n,
+            });
+        }
+    }
+    out
+}

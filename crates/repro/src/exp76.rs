@@ -1,0 +1,155 @@
+//! §7.6 — Impact of video ads on user-perceived latency.
+//!
+//! A pre-roll ad is a second stream played before the main video; the main
+//! video prefetches during ad playback. The paper's finding: ads *reduce*
+//! the initial loading time of the main video, but on cellular networks the
+//! total loading time (ad loading + main loading) roughly doubles.
+
+use crate::scenario::{youtube_world, NetKind};
+use device::apps::VideoSpec;
+use device::{UiEvent, ViewSignature};
+use qoe_doctor::{Controller, WaitCondition};
+use simcore::{SimDuration, Summary};
+use std::fmt;
+
+/// Results for one (network × ad) configuration.
+#[derive(Debug, Clone)]
+pub struct AdRun {
+    /// Configuration label.
+    pub label: String,
+    /// With a pre-roll ad?
+    pub with_ad: bool,
+    /// Whether the controller skipped the ad when offered.
+    pub skipped: bool,
+    /// Ad initial loading time (zero without an ad).
+    pub ad_loading: Summary,
+    /// Main-video initial loading time.
+    pub main_loading: Summary,
+    /// Total loading time (ad + main).
+    pub total_loading: Summary,
+}
+
+impl fmt::Display for AdRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<5} {:<12} ad-load {:>5.2}s  main-load {:>5.2}s  total-load {:>5.2}s",
+            self.label,
+            match (self.with_ad, self.skipped) {
+                (false, _) => "no-ad",
+                (true, true) => "ad (skipped)",
+                (true, false) => "ad (watched)",
+            },
+            self.ad_loading.mean,
+            self.main_loading.mean,
+            self.total_loading.mean,
+        )
+    }
+}
+
+fn pre_roll() -> VideoSpec {
+    VideoSpec { name: "ad".into(), duration: SimDuration::from_secs(20), bitrate_bps: 400e3 }
+}
+
+/// Watch `reps` videos with/without a pre-roll ad on `net`; when `skip` is
+/// set the controller presses "Skip Ad" as soon as it is offered (§4.2.2).
+pub fn run_config(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u64) -> AdRun {
+    let videos: Vec<VideoSpec> = (0..reps)
+        .map(|i| VideoSpec {
+            name: format!("v{i}"),
+            duration: SimDuration::from_secs(45),
+            bitrate_bps: 500e3,
+        })
+        .collect();
+    let ad = with_ad.then(pre_roll);
+    let world = youtube_world(videos.clone(), ad, net, seed, true);
+    let mut doctor = Controller::new(world);
+    doctor.advance(SimDuration::from_secs(5));
+    doctor.interact(&UiEvent::TypeText {
+        target: ViewSignature::by_id("search_box"),
+        text: String::new(),
+    });
+    doctor.interact(&UiEvent::KeyEnter);
+    doctor.advance(SimDuration::from_secs(10));
+
+    let mut ad_loads = Vec::new();
+    let mut main_loads = Vec::new();
+    let mut totals = Vec::new();
+    for spec in &videos {
+        let click = UiEvent::Click {
+            target: ViewSignature::by_id(&format!("result_{}", spec.name)),
+        };
+        if with_ad {
+            // First window: ad loading (click → progress hidden while the
+            // ad buffers).
+            let ad_m = doctor.measure_after(
+                "ad:initial_loading",
+                &click,
+                &WaitCondition::Hidden { id: "player_progress".into() },
+                SimDuration::from_secs(120),
+            );
+            if skip {
+                // The paper's controller skips ads whenever offered
+                // (§4.2.2); the skip button appears 5 s into ad playback.
+                doctor.advance(SimDuration::from_secs(6));
+                doctor.interact(&UiEvent::Click {
+                    target: ViewSignature::by_id("skip_ad"),
+                });
+            }
+            // Second window: main-video loading after the (skipped) ad. The
+            // prefetched buffer may make this nearly instantaneous; a
+            // missed (sub-parse-interval) window counts as zero.
+            let main_m = doctor.measure_span(
+                "video:initial_loading",
+                &WaitCondition::Shown { id: "player_progress".into() },
+                &WaitCondition::Hidden { id: "player_progress".into() },
+                pre_roll().duration + SimDuration::from_secs(90),
+            );
+            let ad_load = ad_m.record.calibrated().as_secs_f64();
+            let main_load = main_m
+                .as_ref()
+                .map(|m| m.record.calibrated().as_secs_f64())
+                .unwrap_or(0.0);
+            ad_loads.push(ad_load);
+            main_loads.push(main_load);
+            totals.push(ad_load + main_load);
+        } else {
+            let m = doctor.measure_after(
+                "video:initial_loading",
+                &click,
+                &WaitCondition::Hidden { id: "player_progress".into() },
+                SimDuration::from_secs(120),
+            );
+            let load = m.record.calibrated().as_secs_f64();
+            ad_loads.push(0.0);
+            main_loads.push(load);
+            totals.push(load);
+        }
+        // Let the video finish before the next rep.
+        let drain = doctor.monitor_playback(
+            "video",
+            SimDuration::from_secs(45 * 3 + 60) + pre_roll().duration * 2,
+        );
+        let _ = drain;
+        doctor.advance(SimDuration::from_secs(3));
+    }
+    AdRun {
+        label: net.label(),
+        with_ad,
+        skipped: with_ad && skip,
+        ad_loading: Summary::of(&ad_loads),
+        main_loading: Summary::of(&main_loads),
+        total_loading: Summary::of(&totals),
+    }
+}
+
+/// Run the §7.6 matrix: WiFi / LTE / 3G × {no ad, skipped ad, watched ad}.
+pub fn run(reps: usize, seed: u64) -> Vec<AdRun> {
+    let mut out = Vec::new();
+    for net in [NetKind::Wifi, NetKind::Lte, NetKind::Umts3g] {
+        out.push(run_config(net, false, false, reps, seed));
+        out.push(run_config(net, true, true, reps, seed));
+        out.push(run_config(net, true, false, reps, seed));
+    }
+    out
+}

@@ -1,0 +1,131 @@
+//! §7.7 — Impact of the RRC state machine design on page loading.
+//!
+//! Web page loads start from an idle radio. On the default 3G machine the
+//! first small packets (DNS, SYN) promote PCH→FACH (1.6 s at low shared
+//! bandwidth); the HTML response then overflows the FACH buffer threshold,
+//! forcing a second FACH→DCH promotion (1.5 s). The simplified machine
+//! promotes PCH→DCH directly, trading idle-state power for one promotion.
+//! The paper measured a 22.8% page-load-time reduction.
+
+use crate::scenario::{browser_world, NetKind};
+use device::apps::BrowserConfig;
+use device::{UiEvent, ViewSignature};
+use qoe_doctor::analyze::crosslayer::rrc_transitions_in;
+use qoe_doctor::{Controller, WaitCondition};
+use simcore::{SimDuration, Summary};
+use std::fmt;
+
+/// Results for one (browser × machine) configuration.
+#[derive(Debug, Clone)]
+pub struct PageLoadRun {
+    /// Browser name.
+    pub browser: &'static str,
+    /// Network / state machine label.
+    pub net: String,
+    /// Calibrated page load times (seconds).
+    pub loads: Summary,
+    /// Mean number of RRC transitions inside each page-load window.
+    pub rrc_transitions_per_load: f64,
+}
+
+impl fmt::Display for PageLoadRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<9} {:<14} load {:>5.2}s (sd {:>4.2}, n={:<2})  rrc-transitions/load {:>3.1}",
+            self.browser,
+            self.net,
+            self.loads.mean,
+            self.loads.std_dev,
+            self.loads.n,
+            self.rrc_transitions_per_load
+        )
+    }
+}
+
+/// Load the test page `reps` times from an idle radio.
+pub fn run_config(
+    browser: BrowserConfig,
+    net: NetKind,
+    reps: usize,
+    seed: u64,
+) -> PageLoadRun {
+    let name = browser.name;
+    let world = browser_world(browser, net, seed);
+    let mut doctor = Controller::new(world);
+    doctor.advance(SimDuration::from_secs(2));
+    doctor.interact(&UiEvent::TypeText {
+        target: ViewSignature::by_id("url_bar"),
+        text: "http://www.example.com/".into(),
+    });
+    for _ in 0..reps {
+        doctor.measure_after(
+            "page_load",
+            &UiEvent::KeyEnter,
+            &WaitCondition::Hidden { id: "page_progress".into() },
+            SimDuration::from_secs(90),
+        );
+        // Idle long enough for full demotion back to PCH/IDLE
+        // (DCH 5 s + FACH 12 s on the default machine).
+        doctor.advance(SimDuration::from_secs(25));
+    }
+    let col = doctor.collect();
+    let mut loads = Vec::new();
+    let mut transitions = 0usize;
+    let mut n = 0usize;
+    for (_, rec) in col.behavior.iter() {
+        if rec.action != "page_load" || rec.timed_out {
+            continue;
+        }
+        loads.push(rec.calibrated().as_secs_f64());
+        if let Some(qxdm) = &col.qxdm {
+            transitions += rrc_transitions_in(qxdm, rec.start, rec.end).len();
+        }
+        n += 1;
+    }
+    PageLoadRun {
+        browser: name,
+        net: net.label(),
+        loads: Summary::of(&loads),
+        rrc_transitions_per_load: if n == 0 { 0.0 } else { transitions as f64 / n as f64 },
+    }
+}
+
+/// Run the §7.7 matrix: three browsers × default 3G / simplified 3G / LTE.
+pub fn run(reps: usize, seed: u64) -> Vec<PageLoadRun> {
+    let mut out = Vec::new();
+    for make in [BrowserConfig::chrome, BrowserConfig::firefox, BrowserConfig::stock] {
+        for net in [NetKind::Umts3g, NetKind::Umts3gSimplified, NetKind::Lte] {
+            out.push(run_config(make(), net, reps, seed));
+        }
+    }
+    out
+}
+
+/// The headline number: mean reduction of page load time from simplifying
+/// the 3G machine, averaged across browsers.
+pub fn reduction_percent(rows: &[PageLoadRun]) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0;
+    for browser in ["chrome", "firefox", "internet"] {
+        let default = rows
+            .iter()
+            .find(|r| r.browser == browser && r.net == "3G")
+            .map(|r| r.loads.mean);
+        let simplified = rows
+            .iter()
+            .find(|r| r.browser == browser && r.net == "3G-simplified")
+            .map(|r| r.loads.mean);
+        if let (Some(d), Some(s)) = (default, simplified) {
+            if d > 0.0 {
+                total += (d - s) / d * 100.0;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}

@@ -1,0 +1,193 @@
+//! `repro` — regenerate every table and figure of the QoE Doctor paper.
+//!
+//! ```text
+//! repro <experiment> [--quick]
+//!
+//! experiments:
+//!   table1 table2 table3 fig6 fig7 fig8 fig10 fig11 fig12 fig13
+//!   fig14 fig15 fig16 fig17 fig18 fig19 fig20 exp76 exp77 ablation all
+//! ```
+//!
+//! `--quick` runs reduced repetition counts (used by CI and the bench
+//! harness); the default counts match EXPERIMENTS.md.
+
+use std::env;
+
+struct Scale {
+    accuracy_reps: usize,
+    post_reps: usize,
+    updates: usize,
+    videos: usize,
+    sweep_videos: usize,
+    ad_reps: usize,
+    page_reps: usize,
+}
+
+const FULL: Scale = Scale {
+    accuracy_reps: 30,
+    post_reps: 15,
+    updates: 30,
+    videos: 24,
+    sweep_videos: 6,
+    ad_reps: 8,
+    page_reps: 12,
+};
+
+const QUICK: Scale = Scale {
+    accuracy_reps: 6,
+    post_reps: 4,
+    updates: 6,
+    videos: 4,
+    sweep_videos: 2,
+    ad_reps: 2,
+    page_reps: 3,
+};
+
+const SEED: u64 = 20140705;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { QUICK } else { FULL };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    match what.as_str() {
+        "all" => {
+            for name in [
+                "table1", "table2", "table3", "fig7", "fig10", "fig12", "fig14", "fig17",
+                "fig18", "fig19", "exp76", "exp77", "ablation",
+            ] {
+                run(name, &scale);
+            }
+        }
+        name => run(name, &scale),
+    }
+}
+
+fn header(name: &str, paper: &str) {
+    println!("\n=== {name} — {paper} ===");
+}
+
+fn run(name: &str, s: &Scale) {
+    match name {
+        "table1" => {
+            header("table1", "Replayed behaviours and latency anchors");
+            repro::tables::print_table1();
+        }
+        "table2" => {
+            header("table2", "Experiment goals");
+            repro::tables::print_table2();
+        }
+        "table3" | "fig6" => {
+            header(name, "Tool accuracy and overhead (§7.1)");
+            let (bars, overhead) = repro::exp71::run(s.accuracy_reps, SEED);
+            for b in &bars {
+                println!("{b}");
+            }
+            println!("{overhead}");
+        }
+        "fig7" | "fig8" => {
+            header(name, "Post uploading breakdown (§7.2)");
+            let (fig7, fig8) = repro::exp72::run(s.post_reps, SEED);
+            println!("-- Fig 7: device vs network delay --");
+            for r in &fig7 {
+                println!("{r}");
+            }
+            println!("-- Fig 8: fine-grained network latency (2 photos) --");
+            for r in &fig8 {
+                println!("{r}");
+            }
+        }
+        "fig10" | "fig11" => {
+            header(name, "Background data/energy vs post frequency (§7.3)");
+            for r in repro::exp73::run_fig10_11(SEED) {
+                println!("{r}");
+            }
+        }
+        "fig12" | "fig13" => {
+            header(name, "Background data/energy vs refresh interval (§7.3)");
+            for r in repro::exp73::run_fig12_13(SEED) {
+                println!("{r}");
+            }
+        }
+        "fig14" | "fig15" | "fig16" => {
+            header(name, "WebView vs ListView news feed updates (§7.4)");
+            for r in repro::exp74::run(s.updates, SEED) {
+                println!("{r}");
+                let cdf = r.cdf();
+                println!(
+                    "         cdf: {}  {}",
+                    repro::render::cdf_strip(&cdf, 1e3, "ms"),
+                    repro::render::sparkline(&cdf.values)
+                );
+            }
+        }
+        "fig17" => {
+            header(name, "Throttled vs unthrottled video QoE (§7.5)");
+            for r in repro::exp75::run_fig17(s.videos, SEED) {
+                println!("{r}");
+                println!(
+                    "         loading cdf: {}",
+                    repro::render::cdf_strip(&r.loading_cdf(), 1.0, "s")
+                );
+            }
+        }
+        "fig18" => {
+            header(name, "Shaping vs policing throughput signature (§7.5)");
+            let traces = repro::exp75::run_fig18(SEED);
+            let hi = traces
+                .iter()
+                .flat_map(|t| t.series.iter().cloned())
+                .fold(0.0f64, f64::max);
+            for r in traces {
+                println!("{r}");
+                let ds = repro::render::downsample(&r.series, 64);
+                println!("         {}", repro::render::sparkline_in(&ds, 0.0, hi));
+            }
+        }
+        "fig19" | "fig20" => {
+            header(name, "QoE vs throttled bandwidth sweep (§7.5)");
+            for r in repro::exp75::run_sweep(s.sweep_videos, SEED) {
+                println!("{r}");
+            }
+        }
+        "exp76" => {
+            header(name, "Video ads and loading time (§7.6)");
+            for r in repro::exp76::run(s.ad_reps, SEED) {
+                println!("{r}");
+            }
+        }
+        "ablation" => {
+            header(name, "Ablations: mapper mechanisms, calibration, throttle discipline");
+            println!("-- long-jump mapper resync mechanisms --");
+            for r in repro::ablation::mapper_ablation(s.post_reps.min(8), SEED) {
+                println!("{r}");
+            }
+            println!("-- §5.1 calibration --");
+            println!("{}", repro::ablation::calibration_ablation(s.accuracy_reps, SEED));
+            println!("-- token-bucket discipline at 128 kb/s on LTE --");
+            for r in repro::ablation::discipline_ablation(128e3, SEED) {
+                println!("{r}");
+            }
+        }
+        "exp77" => {
+            header(name, "RRC state machine design and page loads (§7.7)");
+            let rows = repro::exp77::run(s.page_reps, SEED);
+            for r in &rows {
+                println!("{r}");
+            }
+            println!(
+                "3G simplification reduces page load time by {:.1}% (paper: 22.8%)",
+                repro::exp77::reduction_percent(&rows)
+            );
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over a binary heap keyed by `(SimTime, sequence)`. The
+//! monotonically increasing sequence number breaks ties between events
+//! scheduled for the same instant in insertion order, which makes whole-run
+//! behaviour a pure function of the seed — an invariant the reproduction
+//! experiments depend on.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered queue of `T` with FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule `item` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, item });
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, T)> {
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            self.heap.pop().map(|e| (e.at, e.item))
+        } else {
+            None
+        }
+    }
+
+    /// Pop the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| (e.at, e.item))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3), "c");
+        q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert_eq!(q.pop().unwrap(), (t(1), "a"));
+        assert_eq!(q.pop().unwrap(), (t(2), "b"));
+        assert_eq!(q.pop().unwrap(), (t(3), "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(t(5), "later");
+        q.push(t(1), "now");
+        assert_eq!(q.pop_due(t(1)).unwrap().1, "now");
+        assert!(q.pop_due(t(1)).is_none());
+        assert_eq!(q.pop_due(t(5)).unwrap().1, "later");
+    }
+
+    #[test]
+    fn next_at_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert!(q.next_at().is_none());
+        q.push(t(9), ());
+        q.push(t(4), ());
+        assert_eq!(q.next_at(), Some(t(4)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.push(t(1), 1);
+        q.push(t(2), 2);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

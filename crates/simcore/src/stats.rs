@@ -1,0 +1,214 @@
+//! Statistics helpers for experiment reporting.
+//!
+//! The paper reports results as means with standard deviations, CDFs
+//! (Figs. 14 and 17), and throughput time series (Fig. 18). These small
+//! containers compute exactly those summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of f64 samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean, 0 when empty.
+    pub mean: f64,
+    /// Population standard deviation, 0 when empty.
+    pub std_dev: f64,
+    /// Minimum, 0 when empty.
+    pub min: f64,
+    /// Maximum, 0 when empty.
+    pub max: f64,
+    /// Median (50th percentile), 0 when empty.
+    pub median: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics of `samples`.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0 };
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+        }
+    }
+}
+
+/// Percentile of an ascending-sorted slice using linear interpolation.
+/// `p` is in `[0, 100]`. Panics if the slice is empty.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Percentile of an unsorted slice.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    percentile_sorted(&sorted, p)
+}
+
+/// An empirical CDF: sorted samples plus cumulative fractions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Sorted sample values.
+    pub values: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build a CDF from samples.
+    pub fn of(samples: &[f64]) -> Cdf {
+        let mut values = samples.to_vec();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        Cdf { values }
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let count = self.values.partition_point(|v| *v <= x);
+        count as f64 / self.values.len() as f64
+    }
+
+    /// Value at cumulative fraction `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile_sorted(&self.values, q * 100.0)
+    }
+
+    /// Iterate `(value, cumulative_fraction)` points for plotting.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.values.len();
+        self.values.iter().enumerate().map(move |(i, v)| (*v, (i + 1) as f64 / n as f64))
+    }
+}
+
+/// Fixed-interval time series accumulator (e.g. per-second throughput).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinSeries {
+    /// Width of each bin in seconds.
+    pub bin_secs: f64,
+    /// Accumulated value per bin.
+    pub bins: Vec<f64>,
+}
+
+impl BinSeries {
+    /// New series with the given bin width in seconds.
+    pub fn new(bin_secs: f64) -> BinSeries {
+        assert!(bin_secs > 0.0);
+        BinSeries { bin_secs, bins: Vec::new() }
+    }
+
+    /// Add `value` at time `t_secs`, growing the series as needed.
+    pub fn add(&mut self, t_secs: f64, value: f64) {
+        assert!(t_secs >= 0.0);
+        let idx = (t_secs / self.bin_secs) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        self.bins[idx] += value;
+    }
+
+    /// Iterate `(bin_start_secs, value)` pairs.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.bins.iter().enumerate().map(move |(i, v)| (i as f64 * self.bin_secs, *v))
+    }
+
+    /// Mean of the bin values, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.bins.is_empty() {
+            0.0
+        } else {
+            self.bins.iter().sum::<f64>() / self.bins.len() as f64
+        }
+    }
+
+    /// Population standard deviation of bin values, 0 when empty.
+    pub fn std_dev(&self) -> f64 {
+        if self.bins.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.bins.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.bins.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert!((percentile(&v, 0.0) - 10.0).abs() < 1e-12);
+        assert!((percentile(&v, 100.0) - 40.0).abs() < 1e-12);
+        assert!((percentile(&v, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_fraction_and_quantile() {
+        let c = Cdf::of(&[3.0, 1.0, 2.0, 4.0]);
+        assert!((c.fraction_at(2.0) - 0.5).abs() < 1e-12);
+        assert!((c.fraction_at(0.5) - 0.0).abs() < 1e-12);
+        assert!((c.fraction_at(9.0) - 1.0).abs() < 1e-12);
+        assert!((c.quantile(0.0) - 1.0).abs() < 1e-12);
+        assert!((c.quantile(1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let c = Cdf::of(&[5.0, 1.0, 3.0]);
+        let pts: Vec<_> = c.points().collect();
+        assert_eq!(pts.len(), 3);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_series_accumulates() {
+        let mut s = BinSeries::new(1.0);
+        s.add(0.2, 100.0);
+        s.add(0.9, 50.0);
+        s.add(2.5, 10.0);
+        assert_eq!(s.bins, vec![150.0, 0.0, 10.0]);
+        assert!((s.mean() - 160.0 / 3.0).abs() < 1e-9);
+    }
+}

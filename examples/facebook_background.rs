@@ -1,0 +1,62 @@
+//! Background traffic, data and energy (§7.3 at example scale).
+//!
+//! Runs the Facebook app in the background for two hours on 3G with a
+//! friend posting every 15 minutes, then accounts the mobile data (flow
+//! analysis over the capture) and network energy (RRC residencies against
+//! the power model), split into tail and non-tail.
+//!
+//! Run with: `cargo run --release --example facebook_background`
+
+use device::apps::FbVersion;
+use qoe_doctor::analyze::radio::{energy_breakdown, residencies, time_in};
+use qoe_doctor::analyze::transport::TransportReport;
+use qoe_doctor::Controller;
+use radio::power::PowerModel;
+use radio::rrc::RrcState;
+use repro::scenario::{facebook_world, NetKind, PUSH_BYTES};
+use simcore::{SimDuration, SimTime};
+
+fn main() {
+    let world = facebook_world(
+        FbVersion::ListView50,
+        Some(SimDuration::from_hours(1)), // the default refresh interval
+        false,                            // backgrounded: no UI updates
+        Some(SimDuration::from_mins(15)), // the friend's post cadence
+        PUSH_BYTES,
+        NetKind::Umts3g,
+        2024,
+        true,
+    );
+    let mut doctor = Controller::new(world);
+    doctor.advance(SimDuration::from_hours(2));
+    let col = doctor.collect();
+
+    let report = TransportReport::analyze(&col.trace);
+    let (ul, dl) = report.volume_to("facebook");
+    println!("mobile data over 2 h: {:.0} KB up, {:.0} KB down", ul as f64 / 1e3, dl as f64 / 1e3);
+    for f in report.flows_to("facebook") {
+        println!(
+            "  flow to {:<20} up {:>7} B  down {:>7} B",
+            f.server.as_deref().unwrap_or("?"),
+            f.ul_wire,
+            f.dl_wire
+        );
+    }
+
+    let qxdm = col.qxdm.as_ref().expect("cellular attachment");
+    let res = residencies(qxdm, RrcState::Pch, SimTime::ZERO, col.end);
+    let activity: Vec<SimTime> = col.trace.iter().map(|(at, _)| at).collect();
+    let energy = energy_breakdown(&res, &activity, &PowerModel::default());
+    println!(
+        "network energy: {:.1} J total ({:.1} J tail, {:.1} J non-tail)",
+        energy.total_j(),
+        energy.tail_j,
+        energy.non_tail_j
+    );
+    println!(
+        "radio time: DCH {}  FACH {}  PCH {}",
+        time_in(&res, |s| s == RrcState::Dch),
+        time_in(&res, |s| s == RrcState::Fach),
+        time_in(&res, |s| s == RrcState::Pch),
+    );
+}
