@@ -25,10 +25,18 @@ fn bench_table3_accuracy(c: &mut Criterion) {
 fn bench_fig7_posts(c: &mut Criterion) {
     let mut g = cfg(c);
     g.bench_function("fig7_status_posts_lte", |b| {
-        b.iter(|| repro::exp72::run_posts(PostKind::Status, NetKind::Lte, 3, 42).behavior.len())
+        b.iter(|| {
+            repro::exp72::run_posts(PostKind::Status, NetKind::Lte, 3, 42)
+                .behavior
+                .len()
+        })
     });
     g.bench_function("fig8_photo_posts_3g", |b| {
-        b.iter(|| repro::exp72::run_posts(PostKind::Photos, NetKind::Umts3g, 2, 42).behavior.len())
+        b.iter(|| {
+            repro::exp72::run_posts(PostKind::Photos, NetKind::Umts3g, 2, 42)
+                .behavior
+                .len()
+        })
     });
     g.finish();
 }
@@ -41,6 +49,7 @@ fn bench_fig10_background(c: &mut Criterion) {
                 "bench",
                 Some(simcore::SimDuration::from_mins(30)),
                 Some(simcore::SimDuration::from_hours(1)),
+                repro::exp73::RUN_HOURS,
                 42,
             )
             .total_kb()
@@ -74,7 +83,11 @@ fn bench_fig17_throttling(c: &mut Criterion) {
         b.iter(|| repro::exp75::run_watch(NetKind::Lte, 2, 42).videos.len())
     });
     g.bench_function("fig17_policed_lte_watch", |b| {
-        b.iter(|| repro::exp75::run_watch(NetKind::LteThrottled(128e3), 1, 42).videos.len())
+        b.iter(|| {
+            repro::exp75::run_watch(NetKind::LteThrottled(128e3), 1, 42)
+                .videos
+                .len()
+        })
     });
     g.finish();
 }
@@ -82,7 +95,11 @@ fn bench_fig17_throttling(c: &mut Criterion) {
 fn bench_exp76_ads(c: &mut Criterion) {
     let mut g = cfg(c);
     g.bench_function("exp76_ad_run_lte", |b| {
-        b.iter(|| repro::exp76::run_config(NetKind::Lte, true, true, 1, 42).total_loading.n)
+        b.iter(|| {
+            repro::exp76::run_config(NetKind::Lte, true, true, 1, 42)
+                .total_loading
+                .n
+        })
     });
     g.finish();
 }

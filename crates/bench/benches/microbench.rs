@@ -76,7 +76,10 @@ fn bulk_packet(id: u64, len: u32) -> IpPacket {
         tcp: Some(TcpHeader {
             seq: 1 + id * len as u64,
             ack: 0,
-            flags: TcpFlags { ack: true, ..Default::default() },
+            flags: TcpFlags {
+                ack: true,
+                ..Default::default()
+            },
         }),
         payload_len: len,
         udp_payload: None,
@@ -127,7 +130,11 @@ fn bench_long_jump_mapping(c: &mut Criterion) {
         ch.enqueue(pkt, SimTime::ZERO);
     }
     let mut qx = Qxdm::new(
-        QxdmConfig { ul_record_loss: 0.001, dl_record_loss: 0.0, log_pdus: true },
+        QxdmConfig {
+            ul_record_loss: 0.001,
+            dl_record_loss: 0.0,
+            log_pdus: true,
+        },
         DetRng::seed_from_u64(3),
     );
     let mut now = SimTime::ZERO;
@@ -158,12 +165,15 @@ fn bench_ui_parse(c: &mut Criterion) {
     use device::ui::{UiTree, View};
     let mut feed = View::new("android.widget.ListView", "news_feed");
     for i in 0..100 {
-        feed.children.push(View::new("TextView", &format!("item{i}")).with_text("hello"));
+        feed.children
+            .push(View::new("TextView", &format!("item{i}")).with_text("hello"));
     }
     let root = View::new("LinearLayout", "root").with_child(feed);
     let ui = UiTree::new(root, DetRng::seed_from_u64(4));
     let mut g = c.benchmark_group("device");
-    g.bench_function("ui_snapshot_100_items", |b| b.iter(|| ui.snapshot().count()));
+    g.bench_function("ui_snapshot_100_items", |b| {
+        b.iter(|| ui.snapshot().count())
+    });
     g.finish();
 }
 

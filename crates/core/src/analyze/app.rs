@@ -70,11 +70,14 @@ pub fn accuracy_trigger(
 ) -> Option<AccuracySample> {
     assert_eq!(record.start_kind, StartKind::Trigger);
     let slack = SimDuration::from_millis(500);
-    let screen_end =
-        screen_event_at(camera, end_label, record.start, record.end + slack)?;
+    let screen_end = screen_event_at(camera, end_label, record.start, record.end + slack)?;
     let truth = screen_end.saturating_since(record.start);
     let measured = record.calibrated();
-    let error = if measured >= truth { measured - truth } else { truth - measured };
+    let error = if measured >= truth {
+        measured - truth
+    } else {
+        truth - measured
+    };
     Some(AccuracySample { error, truth })
 }
 
@@ -93,7 +96,11 @@ pub fn accuracy_span(
     let end = screen_event_at(camera, end_label, begin, record.end + slack)?;
     let truth = end.saturating_since(begin);
     let measured = record.calibrated();
-    let error = if measured >= truth { measured - truth } else { truth - measured };
+    let error = if measured >= truth {
+        measured - truth
+    } else {
+        truth - measured
+    };
     Some(AccuracySample { error, truth })
 }
 
@@ -106,7 +113,10 @@ mod tests {
         for (label, at_ms) in labels {
             log.push(
                 SimTime::from_millis(*at_ms),
-                ScreenEvent { label: label.to_string(), changed_at: SimTime::from_millis(*at_ms) },
+                ScreenEvent {
+                    label: label.to_string(),
+                    changed_at: SimTime::from_millis(*at_ms),
+                },
             );
         }
         log
@@ -115,7 +125,9 @@ mod tests {
     #[test]
     fn latency_filtering_by_prefix() {
         let mut log = AppBehaviorLog::new();
-        for (i, action) in ["upload_post:status", "upload_post:photos", "pull"].iter().enumerate()
+        for (i, action) in ["upload_post:status", "upload_post:photos", "pull"]
+            .iter()
+            .enumerate()
         {
             log.push(
                 SimTime::from_secs(i as u64 + 1),
@@ -154,8 +166,7 @@ mod tests {
 
     #[test]
     fn accuracy_span_uses_two_screen_events() {
-        let camera =
-            camera_with(&[("feed_progress:show", 100), ("feed_progress:hide", 900)]);
+        let camera = camera_with(&[("feed_progress:show", 100), ("feed_progress:hide", 900)]);
         let rec = BehaviorRecord {
             action: "pull_to_update".into(),
             start: SimTime::from_millis(110),

@@ -106,7 +106,11 @@ pub fn rrc_transitions_in(
     start: SimTime,
     end: SimTime,
 ) -> Vec<(SimTime, RrcTransition)> {
-    log.rrc.window(start, end).iter().map(|e| (e.at, e.record)).collect()
+    log.rrc
+        .window(start, end)
+        .iter()
+        .map(|e| (e.at, e.record))
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -153,7 +157,11 @@ pub struct MapperOptions {
 
 impl Default for MapperOptions {
     fn default() -> Self {
-        MapperOptions { gap_credit: true, bridge_rescue: true, scan_window: 256 }
+        MapperOptions {
+            gap_credit: true,
+            bridge_rescue: true,
+            scan_window: 256,
+        }
     }
 }
 
@@ -196,7 +204,11 @@ pub fn long_jump_map_with(
             // sn > 0 also reveals missing records.
             let gap_before = max_sn_seen.map_or(rec.sn, |m| rec.sn.saturating_sub(m + 1));
             max_sn_seen = Some(rec.sn);
-            pdus.push(DedupedPdu { at, rec: *rec, gap_before });
+            pdus.push(DedupedPdu {
+                at,
+                rec: *rec,
+                gap_before,
+            });
         }
     }
 
@@ -275,9 +287,7 @@ pub fn long_jump_map_with(
                     if let Some(li) = pdus[j].rec.li {
                         if li < pdus[j].rec.payload_len {
                             let bridged = (pdus[j].rec.payload_len - li) as usize;
-                            if let Some((last, sns)) =
-                                try_chain(&wire, &pdus, bridged, j + 1, j)
-                            {
+                            if let Some((last, sns)) = try_chain(&wire, &pdus, bridged, j + 1, j) {
                                 result = Some((j, last, sns));
                                 break;
                             }
@@ -412,7 +422,11 @@ pub fn score_mapping(
     }
     let total = mapped.len();
     if total == 0 {
-        return MappingScore { total: 0, mapped_ratio: 0.0, correct_ratio: 0.0 };
+        return MappingScore {
+            total: 0,
+            mapped_ratio: 0.0,
+            correct_ratio: 0.0,
+        };
     }
     let mut mapped_n = 0usize;
     let mut correct_n = 0usize;
@@ -429,7 +443,11 @@ pub fn score_mapping(
     MappingScore {
         total,
         mapped_ratio: mapped_n as f64 / total as f64,
-        correct_ratio: if mapped_n == 0 { 0.0 } else { correct_n as f64 / mapped_n as f64 },
+        correct_ratio: if mapped_n == 0 {
+            0.0
+        } else {
+            correct_n as f64 / mapped_n as f64
+        },
     }
 }
 
@@ -462,7 +480,10 @@ pub fn net_latency_breakdown(
     qxdm: &QxdmLog,
     dir: Direction,
 ) -> NetLatencyBreakdown {
-    let mut out = NetLatencyBreakdown { total: network_latency, ..Default::default() };
+    let mut out = NetLatencyBreakdown {
+        total: network_latency,
+        ..Default::default()
+    };
     // All PDU transmission times in the window for this direction.
     let pdu_times: Vec<SimTime> = qxdm
         .pdus
@@ -480,8 +501,11 @@ pub fn net_latency_breakdown(
         .iter()
         .map(|(_, d)| d.as_secs_f64())
         .collect();
-    let est_ota =
-        if rtts.is_empty() { 0.06 } else { percentile(&rtts, 50.0) };
+    let est_ota = if rtts.is_empty() {
+        0.06
+    } else {
+        percentile(&rtts, 50.0)
+    };
 
     // RLC transmission delay: sum of inter-PDU gaps within bursts
     // (gap < estimated OTA RTT).
@@ -495,13 +519,13 @@ pub fn net_latency_breakdown(
     // IP-to-RLC delay: packet capture → first mapped PDU, counted only when
     // no other PDU was transmitted in between (channel idle on arrival).
     for m in mapped {
-        let (Some(first), true) = (m.first_pdu_at, m.mapped()) else { continue };
+        let (Some(first), true) = (m.first_pdu_at, m.mapped()) else {
+            continue;
+        };
         if m.captured_at < window_start || m.captured_at > window_end {
             continue;
         }
-        let intervening = pdu_times
-            .iter()
-            .any(|t| *t > m.captured_at && *t < first);
+        let intervening = pdu_times.iter().any(|t| *t > m.captured_at && *t < first);
         if !intervening && first > m.captured_at {
             out.ip_to_rlc += first.saturating_since(m.captured_at);
         }
@@ -525,8 +549,7 @@ pub fn net_latency_breakdown(
             continue;
         }
         let poll_at = polls[idx - 1];
-        let busy_between =
-            pdu_times.iter().any(|t| *t > poll_at && *t < st.at);
+        let busy_between = pdu_times.iter().any(|t| *t > poll_at && *t < st.at);
         if !busy_between {
             out.ota += st.at.saturating_since(poll_at);
         }
@@ -564,7 +587,10 @@ mod tests {
                 tcp: Some(TcpHeader {
                     seq: id,
                     ack: 0,
-                    flags: TcpFlags { ack: true, ..Default::default() },
+                    flags: TcpFlags {
+                        ack: true,
+                        ..Default::default()
+                    },
                 }),
                 payload_len: len,
                 udp_payload: None,
@@ -630,7 +656,11 @@ mod tests {
             ch.enqueue(packets.last().unwrap().1.clone(), SimTime::ZERO);
         }
         let mut qx = Qxdm::new(
-            QxdmConfig { ul_record_loss: record_loss, dl_record_loss: record_loss, log_pdus: true },
+            QxdmConfig {
+                ul_record_loss: record_loss,
+                dl_record_loss: record_loss,
+                log_pdus: true,
+            },
             DetRng::seed_from_u64(10),
         );
         let mut now = SimTime::ZERO;
@@ -649,8 +679,7 @@ mod tests {
                 None => break,
             }
         }
-        let pkt_refs: Vec<(SimTime, &IpPacket)> =
-            packets.iter().map(|(at, p)| (*at, p)).collect();
+        let pkt_refs: Vec<(SimTime, &IpPacket)> = packets.iter().map(|(at, p)| (*at, p)).collect();
         let mapped = long_jump_map(&pkt_refs, &qx.log, Direction::Uplink);
         (mapped, qx.truth)
     }

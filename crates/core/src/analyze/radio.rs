@@ -50,13 +50,21 @@ pub fn residencies(
             break;
         }
         if at > cursor {
-            out.push(Residency { state, start: cursor, end: at });
+            out.push(Residency {
+                state,
+                start: cursor,
+                end: at,
+            });
         }
         state = tr.to;
         cursor = at;
     }
     if end > cursor {
-        out.push(Residency { state, start: cursor, end });
+        out.push(Residency {
+            state,
+            start: cursor,
+            end,
+        });
     }
     out
 }
@@ -147,7 +155,13 @@ mod tests {
     fn log_with_transitions(trs: &[(u64, RrcState, RrcState)]) -> QxdmLog {
         let mut log = QxdmLog::default();
         for (at, from, to) in trs {
-            log.rrc.push(t(*at), RrcTransition { from: *from, to: *to });
+            log.rrc.push(
+                t(*at),
+                RrcTransition {
+                    from: *from,
+                    to: *to,
+                },
+            );
         }
         log
     }
@@ -161,11 +175,42 @@ mod tests {
         ]);
         let res = residencies(&log, RrcState::Pch, t(0), t(20_000));
         assert_eq!(res.len(), 4);
-        assert_eq!(res[0], Residency { state: RrcState::Pch, start: t(0), end: t(1_000) });
-        assert_eq!(res[1], Residency { state: RrcState::Dch, start: t(1_000), end: t(6_000) });
-        assert_eq!(res[2], Residency { state: RrcState::Fach, start: t(6_000), end: t(18_000) });
-        assert_eq!(res[3], Residency { state: RrcState::Pch, start: t(18_000), end: t(20_000) });
-        assert_eq!(time_in(&res, |s| s == RrcState::Dch), SimDuration::from_secs(5));
+        assert_eq!(
+            res[0],
+            Residency {
+                state: RrcState::Pch,
+                start: t(0),
+                end: t(1_000)
+            }
+        );
+        assert_eq!(
+            res[1],
+            Residency {
+                state: RrcState::Dch,
+                start: t(1_000),
+                end: t(6_000)
+            }
+        );
+        assert_eq!(
+            res[2],
+            Residency {
+                state: RrcState::Fach,
+                start: t(6_000),
+                end: t(18_000)
+            }
+        );
+        assert_eq!(
+            res[3],
+            Residency {
+                state: RrcState::Pch,
+                start: t(18_000),
+                end: t(20_000)
+            }
+        );
+        assert_eq!(
+            time_in(&res, |s| s == RrcState::Dch),
+            SimDuration::from_secs(5)
+        );
     }
 
     #[test]
@@ -218,9 +263,27 @@ mod tests {
         log.pdus.push(at, p);
         let (at, p) = poll(300, 21);
         log.pdus.push(at, p);
-        log.statuses.push(t(160), StatusRecord { data_dir: Direction::Uplink, acks_sn: 5 });
-        log.statuses.push(t(380), StatusRecord { data_dir: Direction::Uplink, acks_sn: 21 });
-        log.statuses.push(t(400), StatusRecord { data_dir: Direction::Downlink, acks_sn: 1 });
+        log.statuses.push(
+            t(160),
+            StatusRecord {
+                data_dir: Direction::Uplink,
+                acks_sn: 5,
+            },
+        );
+        log.statuses.push(
+            t(380),
+            StatusRecord {
+                data_dir: Direction::Uplink,
+                acks_sn: 21,
+            },
+        );
+        log.statuses.push(
+            t(400),
+            StatusRecord {
+                data_dir: Direction::Downlink,
+                acks_sn: 1,
+            },
+        );
         let rtts = first_hop_ota_rtts(&log, Direction::Uplink);
         assert_eq!(rtts.len(), 2);
         assert_eq!(rtts[0].1, SimDuration::from_millis(60));

@@ -40,7 +40,11 @@ impl VisualProgress {
             .map(|e| (e.at, e.record.label.clone()))
             .collect();
         let last = events.last().map(|(at, _)| *at).unwrap_or(end);
-        VisualProgress { events, start, end: last }
+        VisualProgress {
+            events,
+            start,
+            end: last,
+        }
     }
 
     /// The Speed Index of the window: mean draw time weighted equally per
@@ -88,7 +92,10 @@ mod tests {
         for (at, label) in events_ms {
             log.push(
                 SimTime::from_millis(*at),
-                ScreenEvent { label: label.to_string(), changed_at: SimTime::from_millis(*at) },
+                ScreenEvent {
+                    label: label.to_string(),
+                    changed_at: SimTime::from_millis(*at),
+                },
             );
         }
         log
@@ -110,9 +117,12 @@ mod tests {
     fn early_paint_beats_late_paint_with_same_end() {
         let early = camera(&[(50, "a"), (80, "b"), (900, "c")]);
         let late = camera(&[(700, "a"), (800, "b"), (900, "c")]);
-        let si_early =
-            VisualProgress::of(&early, t(0), t(1_000)).speed_index().unwrap();
-        let si_late = VisualProgress::of(&late, t(0), t(1_000)).speed_index().unwrap();
+        let si_early = VisualProgress::of(&early, t(0), t(1_000))
+            .speed_index()
+            .unwrap();
+        let si_late = VisualProgress::of(&late, t(0), t(1_000))
+            .speed_index()
+            .unwrap();
         // Same last-paint time; Speed Index separates them.
         assert!(si_early < si_late, "{si_early} vs {si_late}");
     }
@@ -124,8 +134,14 @@ mod tests {
         assert_eq!(vp.completeness_at(t(250)), 0.5);
         assert_eq!(vp.completeness_at(t(50)), 0.0);
         assert_eq!(vp.completeness_at(t(500)), 1.0);
-        assert_eq!(vp.time_to_completeness(0.5), Some(SimDuration::from_millis(200)));
-        assert_eq!(vp.time_to_completeness(1.0), Some(SimDuration::from_millis(400)));
+        assert_eq!(
+            vp.time_to_completeness(0.5),
+            Some(SimDuration::from_millis(200))
+        );
+        assert_eq!(
+            vp.time_to_completeness(1.0),
+            Some(SimDuration::from_millis(400))
+        );
     }
 
     #[test]

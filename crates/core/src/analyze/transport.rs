@@ -215,8 +215,14 @@ impl TransportReport {
                 }
             }
         }
-        let flows = order.into_iter().map(|k| flows.remove(&k).expect("flow")).collect();
-        TransportReport { flows, dns: dns_map }
+        let flows = order
+            .into_iter()
+            .map(|k| flows.remove(&k).expect("flow"))
+            .collect();
+        TransportReport {
+            flows,
+            dns: dns_map,
+        }
     }
 
     /// Flows whose server hostname contains `needle`.
@@ -238,7 +244,10 @@ impl TransportReport {
     /// Total retransmissions across all flows (duplicates seen at the
     /// capture point plus inferred upstream retransmissions).
     pub fn total_retx(&self) -> u32 {
-        self.flows.iter().map(|f| f.ul_retx + f.dl_retx + f.inferred_retx).sum()
+        self.flows
+            .iter()
+            .map(|f| f.ul_retx + f.dl_retx + f.inferred_retx)
+            .sum()
     }
 }
 
@@ -309,7 +318,15 @@ mod tests {
         trace.push(t(0), dns_rec("api.facebook.com", IpAddr::new(31, 13, 0, 2)));
         trace.push(
             t(10),
-            tcp_pkt(Direction::Uplink, 0, 0, TcpFlags { syn: true, ..Default::default() }),
+            tcp_pkt(
+                Direction::Uplink,
+                0,
+                0,
+                TcpFlags {
+                    syn: true,
+                    ..Default::default()
+                },
+            ),
         );
         trace.push(
             t(60),
@@ -317,12 +334,24 @@ mod tests {
                 Direction::Downlink,
                 0,
                 0,
-                TcpFlags { syn: true, ack: true, ..Default::default() },
+                TcpFlags {
+                    syn: true,
+                    ack: true,
+                    ..Default::default()
+                },
             ),
         );
         trace.push(
             t(80),
-            tcp_pkt(Direction::Uplink, 1, 1000, TcpFlags { ack: true, ..Default::default() }),
+            tcp_pkt(
+                Direction::Uplink,
+                1,
+                1000,
+                TcpFlags {
+                    ack: true,
+                    ..Default::default()
+                },
+            ),
         );
         let report = TransportReport::analyze(&trace);
         assert_eq!(report.flows.len(), 1);
@@ -338,7 +367,10 @@ mod tests {
     #[test]
     fn duplicate_seq_counts_as_retransmission() {
         let mut trace = RecordLog::new();
-        let flags = TcpFlags { ack: true, ..Default::default() };
+        let flags = TcpFlags {
+            ack: true,
+            ..Default::default()
+        };
         trace.push(t(0), tcp_pkt(Direction::Uplink, 1, 1000, flags));
         trace.push(t(10), tcp_pkt(Direction::Uplink, 1001, 1000, flags));
         trace.push(t(500), tcp_pkt(Direction::Uplink, 1, 1000, flags)); // retx
@@ -350,7 +382,10 @@ mod tests {
     #[test]
     fn throughput_series_bins_downlink() {
         let mut trace = RecordLog::new();
-        let flags = TcpFlags { ack: true, ..Default::default() };
+        let flags = TcpFlags {
+            ack: true,
+            ..Default::default()
+        };
         trace.push(t(100), tcp_pkt(Direction::Downlink, 1, 960, flags)); // 1000 wire
         trace.push(t(200), tcp_pkt(Direction::Downlink, 961, 960, flags));
         trace.push(t(1500), tcp_pkt(Direction::Downlink, 1921, 960, flags));
@@ -364,17 +399,28 @@ mod tests {
     #[test]
     fn data_ack_rtt_is_sampled_and_karn_guarded() {
         let mut trace = RecordLog::new();
-        let flags = TcpFlags { ack: true, ..Default::default() };
+        let flags = TcpFlags {
+            ack: true,
+            ..Default::default()
+        };
         // Segment sent at 0 ms, acked at 120 ms -> one 120 ms sample.
         trace.push(t(0), tcp_pkt(Direction::Uplink, 1, 1000, flags));
         let mut ack = tcp_pkt(Direction::Downlink, 0, 0, flags);
-        ack.pkt.tcp = Some(TcpHeader { seq: 0, ack: 1001, flags });
+        ack.pkt.tcp = Some(TcpHeader {
+            seq: 0,
+            ack: 1001,
+            flags,
+        });
         trace.push(t(120), ack);
         // A second segment retransmitted before its ack: no sample.
         trace.push(t(200), tcp_pkt(Direction::Uplink, 1001, 1000, flags));
         trace.push(t(700), tcp_pkt(Direction::Uplink, 1001, 1000, flags)); // retx
         let mut ack2 = tcp_pkt(Direction::Downlink, 0, 0, flags);
-        ack2.pkt.tcp = Some(TcpHeader { seq: 0, ack: 2001, flags });
+        ack2.pkt.tcp = Some(TcpHeader {
+            seq: 0,
+            ack: 2001,
+            flags,
+        });
         trace.push(t(800), ack2);
         let report = TransportReport::analyze(&trace);
         let f = &report.flows[0];
@@ -386,7 +432,10 @@ mod tests {
     #[test]
     fn flow_throughput_uses_payload_and_duration() {
         let mut trace = RecordLog::new();
-        let flags = TcpFlags { ack: true, ..Default::default() };
+        let flags = TcpFlags {
+            ack: true,
+            ..Default::default()
+        };
         trace.push(t(0), tcp_pkt(Direction::Downlink, 1, 1000, flags));
         trace.push(t(1_000), tcp_pkt(Direction::Downlink, 1001, 1000, flags));
         let report = TransportReport::analyze(&trace);
@@ -398,7 +447,10 @@ mod tests {
     #[test]
     fn window_analysis_sees_only_window_records() {
         let mut trace = RecordLog::new();
-        let flags = TcpFlags { ack: true, ..Default::default() };
+        let flags = TcpFlags {
+            ack: true,
+            ..Default::default()
+        };
         trace.push(t(0), tcp_pkt(Direction::Uplink, 1, 100, flags));
         trace.push(t(5_000), tcp_pkt(Direction::Uplink, 101, 100, flags));
         let windowed = TransportReport::analyze_records(trace.window(t(4_000), t(6_000)));

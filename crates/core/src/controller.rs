@@ -109,7 +109,11 @@ pub struct Controller {
 impl Controller {
     /// Take control of a world at t = 0.
     pub fn new(world: World) -> Controller {
-        Controller { world, now: SimTime::ZERO, log: AppBehaviorLog::new() }
+        Controller {
+            world,
+            now: SimTime::ZERO,
+            log: AppBehaviorLog::new(),
+        }
     }
 
     /// Advance the world to `target`, processing every due event.
@@ -252,9 +256,14 @@ impl Controller {
         let playback_start = self.now;
         let deadline = self.now + timeout;
         let mut report = PlaybackReport::default();
-        let finished = WaitCondition::TextIs { id: "player_status".into(), value: "finished".into() };
-        let stalled =
-            WaitCondition::TextIs { id: "player_status".into(), value: "rebuffering".into() };
+        let finished = WaitCondition::TextIs {
+            id: "player_status".into(),
+            value: "finished".into(),
+        };
+        let stalled = WaitCondition::TextIs {
+            id: "player_status".into(),
+            value: "rebuffering".into(),
+        };
         loop {
             // Wait for either a stall or the end.
             let mut timed_out = true;
@@ -275,7 +284,9 @@ impl Controller {
             }
             // In a stall: measure it.
             let stall_start = self.now;
-            let playing = WaitCondition::Hidden { id: "player_progress".into() };
+            let playing = WaitCondition::Hidden {
+                id: "player_progress".into(),
+            };
             let (_, stall_end, mean_parse, to) = self.wait_for(&playing, deadline);
             let record = BehaviorRecord {
                 action: format!("{action}:rebuffer"),

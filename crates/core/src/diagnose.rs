@@ -66,10 +66,7 @@ pub fn diagnose(record: &BehaviorRecord, col: &Collection) -> Diagnosis {
         .flows
         .iter()
         .map(|f| FlowLine {
-            server: f
-                .server
-                .clone()
-                .unwrap_or_else(|| format!("{}", f.key.dst)),
+            server: f.server.clone().unwrap_or_else(|| format!("{}", f.key.dst)),
             ul_bytes: f.ul_wire,
             dl_bytes: f.dl_wire,
             mean_rtt: f.mean_rtt(),
@@ -88,13 +85,17 @@ pub fn diagnose(record: &BehaviorRecord, col: &Collection) -> Diagnosis {
         let window = col.trace.window(record.start, record.end);
         if !qxdm.pdus.is_empty() && !window.is_empty() {
             // Pick the direction carrying the most payload in the window.
-            let (ul, dl) = window.iter().fold((0u64, 0u64), |(u, d), e| {
-                match e.record.dir {
+            let (ul, dl) = window
+                .iter()
+                .fold((0u64, 0u64), |(u, d), e| match e.record.dir {
                     Direction::Uplink => (u + e.record.pkt.payload_len as u64, d),
                     Direction::Downlink => (u, d + e.record.pkt.payload_len as u64),
-                }
-            });
-            let dir = if ul >= dl { Direction::Uplink } else { Direction::Downlink };
+                });
+            let dir = if ul >= dl {
+                Direction::Uplink
+            } else {
+                Direction::Downlink
+            };
             let pkts: Vec<(SimTime, &IpPacket)> = window
                 .iter()
                 .filter(|e| e.record.dir == dir)
@@ -114,8 +115,7 @@ pub fn diagnose(record: &BehaviorRecord, col: &Collection) -> Diagnosis {
         }
     }
 
-    let speed_index =
-        VisualProgress::of(&col.camera, record.start, record.end).speed_index();
+    let speed_index = VisualProgress::of(&col.camera, record.start, record.end).speed_index();
 
     Diagnosis {
         action: record.action.clone(),
@@ -145,9 +145,7 @@ impl Diagnosis {
                     (rb.ota, "first-hop OTA waits"),
                     (rb.other, "core network + server"),
                 ];
-                if let Some((share, label)) =
-                    parts.iter().max_by(|a, b| a.0.cmp(&b.0))
-                {
+                if let Some((share, label)) = parts.iter().max_by(|a, b| a.0.cmp(&b.0)) {
                     cause.push_str(&format!(", dominated by {label} ({share})"));
                 }
             }

@@ -51,9 +51,10 @@ impl From<&WaitSpec> for WaitCondition {
             },
             WaitSpec::Shown { id } => WaitCondition::Shown { id: id.clone() },
             WaitSpec::Hidden { id } => WaitCondition::Hidden { id: id.clone() },
-            WaitSpec::TextIs { id, value } => {
-                WaitCondition::TextIs { id: id.clone(), value: value.clone() }
-            }
+            WaitSpec::TextIs { id, value } => WaitCondition::TextIs {
+                id: id.clone(),
+                value: value.clone(),
+            },
         }
     }
 }
@@ -85,12 +86,12 @@ pub enum InteractSpec {
 impl InteractSpec {
     fn to_event(&self) -> UiEvent {
         match self {
-            InteractSpec::Click { id } => {
-                UiEvent::Click { target: ViewSignature::by_id(id) }
-            }
-            InteractSpec::Scroll { id } => {
-                UiEvent::Scroll { target: ViewSignature::by_id(id) }
-            }
+            InteractSpec::Click { id } => UiEvent::Click {
+                target: ViewSignature::by_id(id),
+            },
+            InteractSpec::Scroll { id } => UiEvent::Scroll {
+                target: ViewSignature::by_id(id),
+            },
             InteractSpec::Type { id, text } => UiEvent::TypeText {
                 target: ViewSignature::by_id(id),
                 text: text.clone(),
@@ -163,7 +164,12 @@ impl ReplaySpec {
                     doctor.advance(SimDuration::from_secs_f64(*secs));
                 }
                 ReplayStep::Interact(i) => doctor.interact(&i.to_event()),
-                ReplayStep::MeasureAfter { action, trigger, until, timeout_secs } => {
+                ReplayStep::MeasureAfter {
+                    action,
+                    trigger,
+                    until,
+                    timeout_secs,
+                } => {
                     doctor.measure_after(
                         action,
                         &trigger.to_event(),
@@ -171,7 +177,12 @@ impl ReplaySpec {
                         SimDuration::from_secs_f64(*timeout_secs),
                     );
                 }
-                ReplayStep::MeasureSpan { action, begin, end, timeout_secs } => {
+                ReplayStep::MeasureSpan {
+                    action,
+                    begin,
+                    end,
+                    timeout_secs,
+                } => {
                     doctor.measure_span(
                         action,
                         &begin.into(),
@@ -179,11 +190,11 @@ impl ReplaySpec {
                         SimDuration::from_secs_f64(*timeout_secs),
                     );
                 }
-                ReplayStep::MonitorPlayback { action, timeout_secs } => {
-                    doctor.monitor_playback(
-                        action,
-                        SimDuration::from_secs_f64(*timeout_secs),
-                    );
+                ReplayStep::MonitorPlayback {
+                    action,
+                    timeout_secs,
+                } => {
+                    doctor.monitor_playback(action, SimDuration::from_secs_f64(*timeout_secs));
                 }
             }
         }
@@ -206,11 +217,10 @@ pub mod specs {
                     text: text.into(),
                 }),
                 ReplayStep::MeasureAfter {
-                    action: format!(
-                        "upload_post:{}",
-                        text.split(':').next().unwrap_or("status")
-                    ),
-                    trigger: InteractSpec::Click { id: "post_button".into() },
+                    action: format!("upload_post:{}", text.split(':').next().unwrap_or("status")),
+                    trigger: InteractSpec::Click {
+                        id: "post_button".into(),
+                    },
                     until: WaitSpec::TextAppears {
                         container: "news_feed".into(),
                         needle: text.into(),
@@ -226,11 +236,17 @@ pub mod specs {
         ReplaySpec {
             name: "facebook:pull_to_update".into(),
             steps: vec![
-                ReplayStep::Interact(InteractSpec::Scroll { id: "news_feed".into() }),
+                ReplayStep::Interact(InteractSpec::Scroll {
+                    id: "news_feed".into(),
+                }),
                 ReplayStep::MeasureSpan {
                     action: "pull_to_update".into(),
-                    begin: WaitSpec::Shown { id: "feed_progress".into() },
-                    end: WaitSpec::Hidden { id: "feed_progress".into() },
+                    begin: WaitSpec::Shown {
+                        id: "feed_progress".into(),
+                    },
+                    end: WaitSpec::Hidden {
+                        id: "feed_progress".into(),
+                    },
                     timeout_secs: 60.0,
                 },
             ],
@@ -251,8 +267,12 @@ pub mod specs {
                 ReplayStep::Dwell { secs: 5.0 },
                 ReplayStep::MeasureAfter {
                     action: "video:initial_loading".into(),
-                    trigger: InteractSpec::Click { id: format!("result_{video}") },
-                    until: WaitSpec::Hidden { id: "player_progress".into() },
+                    trigger: InteractSpec::Click {
+                        id: format!("result_{video}"),
+                    },
+                    until: WaitSpec::Hidden {
+                        id: "player_progress".into(),
+                    },
                     timeout_secs: 240.0,
                 },
                 ReplayStep::MonitorPlayback {
@@ -275,7 +295,9 @@ pub mod specs {
                 ReplayStep::MeasureAfter {
                     action: "page_load".into(),
                     trigger: InteractSpec::PressEnter,
-                    until: WaitSpec::Hidden { id: "page_progress".into() },
+                    until: WaitSpec::Hidden {
+                        id: "page_progress".into(),
+                    },
                     timeout_secs: 90.0,
                 },
             ],
@@ -314,23 +336,33 @@ mod tests {
 
     #[test]
     fn wait_spec_converts_to_condition() {
-        let w = WaitSpec::Hidden { id: "page_progress".into() };
-        let c: WaitCondition = (&w).into();
-        assert_eq!(c, WaitCondition::Hidden { id: "page_progress".into() });
-        let w = WaitSpec::TextAppears { container: "feed".into(), needle: "x".into() };
+        let w = WaitSpec::Hidden {
+            id: "page_progress".into(),
+        };
         let c: WaitCondition = (&w).into();
         assert_eq!(
             c,
-            WaitCondition::TextAppears { container: "feed".into(), needle: "x".into() }
+            WaitCondition::Hidden {
+                id: "page_progress".into()
+            }
+        );
+        let w = WaitSpec::TextAppears {
+            container: "feed".into(),
+            needle: "x".into(),
+        };
+        let c: WaitCondition = (&w).into();
+        assert_eq!(
+            c,
+            WaitCondition::TextAppears {
+                container: "feed".into(),
+                needle: "x".into()
+            }
         );
     }
 
     #[test]
     fn interact_spec_builds_events() {
-        assert_eq!(
-            InteractSpec::PressEnter.to_event(),
-            UiEvent::KeyEnter
-        );
+        assert_eq!(InteractSpec::PressEnter.to_event(), UiEvent::KeyEnter);
         let click = InteractSpec::Click { id: "go".into() };
         match click.to_event() {
             UiEvent::Click { target } => assert_eq!(target.id.as_deref(), Some("go")),

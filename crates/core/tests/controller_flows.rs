@@ -35,7 +35,8 @@ impl App for ScriptedApp {
             .with_child(View::new("android.widget.Button", "go"))
             .with_child(View::new("android.widget.ProgressBar", "spinner").with_visible(false))
             .with_child(View::new("android.widget.ListView", "list"));
-        cx.ui.mutate(cx.now, "launch", |root| root.children = vec![layout]);
+        cx.ui
+            .mutate(cx.now, "launch", |root| root.children = vec![layout]);
     }
     fn on_ui_event(&mut self, ev: &UiEvent, cx: &mut AppCx) {
         if let UiEvent::Click { .. } = ev {
@@ -48,7 +49,9 @@ impl App for ScriptedApp {
         while let Some((_, what)) = self.tasks.pop_due(cx.now) {
             match what {
                 "hide" => cx.ui.set_visible(cx.now, "spinner", false),
-                "item" => cx.ui.prepend_item(cx.now, "list", "TextView", "done-marker"),
+                "item" => cx
+                    .ui
+                    .prepend_item(cx.now, "list", "TextView", "done-marker"),
                 _ => unreachable!(),
             }
         }
@@ -73,7 +76,9 @@ fn scripted_world(spin_ms: u64, item_ms: u64) -> World {
 }
 
 fn click() -> UiEvent {
-    UiEvent::Click { target: device::ViewSignature::by_id("go") }
+    UiEvent::Click {
+        target: device::ViewSignature::by_id("go"),
+    }
 }
 
 #[test]
@@ -83,7 +88,10 @@ fn trigger_measurement_approximates_scripted_delay() {
     let m = doctor.measure_after(
         "text_appears",
         &click(),
-        &WaitCondition::TextAppears { container: "list".into(), needle: "done-marker".into() },
+        &WaitCondition::TextAppears {
+            container: "list".into(),
+            needle: "done-marker".into(),
+        },
         SimDuration::from_secs(10),
     );
     assert!(!m.record.timed_out);
@@ -104,8 +112,12 @@ fn span_measurement_approximates_spinner_window() {
     let m = doctor
         .measure_span(
             "spinner",
-            &WaitCondition::Shown { id: "spinner".into() },
-            &WaitCondition::Hidden { id: "spinner".into() },
+            &WaitCondition::Shown {
+                id: "spinner".into(),
+            },
+            &WaitCondition::Hidden {
+                id: "spinner".into(),
+            },
             SimDuration::from_secs(10),
         )
         .expect("spinner observed");
@@ -121,7 +133,10 @@ fn wait_timeout_is_flagged_not_fatal() {
     let m = doctor.measure_after(
         "never",
         &click(),
-        &WaitCondition::TextAppears { container: "list".into(), needle: "no-such-text".into() },
+        &WaitCondition::TextAppears {
+            container: "list".into(),
+            needle: "no-such-text".into(),
+        },
         SimDuration::from_secs(2),
     );
     assert!(m.record.timed_out);
@@ -137,8 +152,12 @@ fn span_begin_timeout_returns_none() {
     // No click: the spinner never shows.
     let m = doctor.measure_span(
         "no_begin",
-        &WaitCondition::Shown { id: "spinner".into() },
-        &WaitCondition::Hidden { id: "spinner".into() },
+        &WaitCondition::Shown {
+            id: "spinner".into(),
+        },
+        &WaitCondition::Hidden {
+            id: "spinner".into(),
+        },
         SimDuration::from_secs(2),
     );
     assert!(m.is_none());
@@ -185,7 +204,10 @@ fn collect_hands_over_all_artifacts() {
     doctor.measure_after(
         "text_appears",
         &click(),
-        &WaitCondition::TextAppears { container: "list".into(), needle: "done-marker".into() },
+        &WaitCondition::TextAppears {
+            container: "list".into(),
+            needle: "done-marker".into(),
+        },
         SimDuration::from_secs(10),
     );
     let col = doctor.collect();

@@ -17,7 +17,11 @@ fn pkt(id: u64, payload: u32) -> IpPacket {
         src: SocketAddr::new(IpAddr::new(10, 0, 0, 1), 40000),
         dst: SocketAddr::new(IpAddr::new(31, 13, 0, 2), 443),
         proto: Proto::Tcp,
-        tcp: Some(TcpHeader { seq: 1 + id * 1400, ack: 0, flags: TcpFlags::default() }),
+        tcp: Some(TcpHeader {
+            seq: 1 + id * 1400,
+            ack: 0,
+            flags: TcpFlags::default(),
+        }),
         payload_len: payload,
         udp_payload: None,
         markers: Vec::new(),
@@ -31,7 +35,11 @@ fn capture_log(
     record_loss: f64,
     seed: u64,
 ) -> (Vec<(SimTime, IpPacket)>, Qxdm) {
-    let mut cfg = if fixed { RlcConfig::umts_uplink() } else { RlcConfig::umts_downlink() };
+    let mut cfg = if fixed {
+        RlcConfig::umts_uplink()
+    } else {
+        RlcConfig::umts_downlink()
+    };
     cfg.pdu_loss = 0.0;
     cfg.ota_jitter = 0.0;
     let mut ch = RlcChannel::new(cfg, Direction::Uplink, DetRng::seed_from_u64(seed));
@@ -42,7 +50,11 @@ fn capture_log(
         ch.enqueue(p, SimTime::ZERO);
     }
     let mut qx = Qxdm::new(
-        QxdmConfig { ul_record_loss: record_loss, dl_record_loss: record_loss, log_pdus: true },
+        QxdmConfig {
+            ul_record_loss: record_loss,
+            dl_record_loss: record_loss,
+            log_pdus: true,
+        },
         DetRng::seed_from_u64(seed ^ 0xFF),
     );
     let mut now = SimTime::ZERO;

@@ -69,7 +69,11 @@ impl BrowserConfig {
 enum LoadState {
     Idle,
     Html(Rpc),
-    Subs { active: Vec<Rpc>, remaining: u32, host_name: String },
+    Subs {
+        active: Vec<Rpc>,
+        remaining: u32,
+        host_name: String,
+    },
     Rendering,
 }
 
@@ -107,7 +111,9 @@ impl BrowserApp {
     }
 
     fn host_of(url: &str) -> String {
-        let stripped = url.strip_prefix("http://").or_else(|| url.strip_prefix("https://"));
+        let stripped = url
+            .strip_prefix("http://")
+            .or_else(|| url.strip_prefix("https://"));
         let rest = stripped.unwrap_or(url);
         rest.split('/').next().unwrap_or(rest).to_string()
     }
@@ -173,8 +179,9 @@ impl App for BrowserApp {
                 if rpc.poll(cx.host, cx.now) {
                     let host_name = Self::host_of(&self.url_text);
                     let first_wave = self.cfg.parallel.min(self.cfg.sub_count);
-                    let active: Vec<Rpc> =
-                        (0..first_wave).map(|_| self.spawn_sub(&host_name)).collect();
+                    let active: Vec<Rpc> = (0..first_wave)
+                        .map(|_| self.spawn_sub(&host_name))
+                        .collect();
                     let remaining = self.cfg.sub_count - first_wave;
                     if self.cfg.sub_count == 0 {
                         let d = cx.rng.jittered(self.cfg.render_delay, 0.2);
@@ -182,13 +189,21 @@ impl App for BrowserApp {
                         self.tasks.push(cx.now + d, BrowserTask::RenderDone);
                         LoadState::Rendering
                     } else {
-                        LoadState::Subs { active, remaining, host_name }
+                        LoadState::Subs {
+                            active,
+                            remaining,
+                            host_name,
+                        }
                     }
                 } else {
                     LoadState::Html(rpc)
                 }
             }
-            LoadState::Subs { mut active, mut remaining, host_name } => {
+            LoadState::Subs {
+                mut active,
+                mut remaining,
+                host_name,
+            } => {
                 let mut done_idx = Vec::new();
                 for (i, rpc) in active.iter_mut().enumerate() {
                     if rpc.poll(cx.host, cx.now) {
@@ -211,7 +226,11 @@ impl App for BrowserApp {
                     self.tasks.push(cx.now + d, BrowserTask::RenderDone);
                     LoadState::Rendering
                 } else {
-                    LoadState::Subs { active, remaining, host_name }
+                    LoadState::Subs {
+                        active,
+                        remaining,
+                        host_name,
+                    }
                 }
             }
         };

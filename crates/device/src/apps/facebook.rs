@@ -321,9 +321,9 @@ impl App for FacebookApp {
                     };
                     let proc = cx.rng.jittered(proc, 0.10);
                     cx.cpu.app_busy += proc;
-                    self.tasks.push(cx.now + proc, FbTask::ShowPost(text.clone()));
-                    let rpc =
-                        Rpc::new(&self.cfg.post_server, 443, tag, req, self.cfg.post_resp);
+                    self.tasks
+                        .push(cx.now + proc, FbTask::ShowPost(text.clone()));
+                    let rpc = Rpc::new(&self.cfg.post_server, 443, tag, req, self.cfg.post_resp);
                     self.rpcs.push((FbRpc::PostUpload, rpc));
                 }
             }
@@ -359,8 +359,13 @@ impl App for FacebookApp {
                 }
                 FbTask::BgRefresh => {
                     let tag = self.tag();
-                    let rpc =
-                        Rpc::new(&self.cfg.server, 443, tag, self.cfg.bg_req, self.cfg.bg_resp);
+                    let rpc = Rpc::new(
+                        &self.cfg.server,
+                        443,
+                        tag,
+                        self.cfg.bg_req,
+                        self.cfg.bg_resp,
+                    );
                     self.rpcs.push((FbRpc::Background, rpc));
                     if let Some(iv) = self.cfg.refresh_interval {
                         self.tasks.push(cx.now + iv, FbTask::BgRefresh);

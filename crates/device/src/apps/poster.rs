@@ -82,9 +82,8 @@ impl App for FacebookPoster {
 
     fn start(&mut self, cx: &mut AppCx) {
         cx.ui.mutate(cx.now, "app:launch", |root| {
-            root.children =
-                vec![View::new("LinearLayout", "poster_root")
-                    .with_child(View::new("TextView", "poster_status").with_text("idle"))];
+            root.children = vec![View::new("LinearLayout", "poster_root")
+                .with_child(View::new("TextView", "poster_status").with_text("idle"))];
         });
         self.started = true;
         if let (Some(first), Some(_)) = (self.cfg.first_post, self.cfg.interval) {

@@ -149,7 +149,9 @@ impl YouTubeApp {
 
     /// Playback phase for white-box assertions in tests.
     pub fn is_finished(&self) -> bool {
-        self.player.as_ref().is_some_and(|p| p.phase == Phase::Finished)
+        self.player
+            .as_ref()
+            .is_some_and(|p| p.phase == Phase::Finished)
     }
 
     fn start_playback(&mut self, name: &str, cx: &mut AppCx) {
@@ -160,20 +162,27 @@ impl YouTubeApp {
         cx.ui.set_text(cx.now, "player_status", "loading");
         let ad = self.cfg.ad.clone().map(|ad_spec| {
             let ad_tag = self.tag();
-            let rpc = Rpc::new(&self.cfg.ad_server, 443, ad_tag, 1_200, ad_spec.total_bytes())
-                .keep_open();
+            let rpc = Rpc::new(
+                &self.cfg.ad_server,
+                443,
+                ad_tag,
+                1_200,
+                ad_spec.total_bytes(),
+            )
+            .keep_open();
             (ad_spec, rpc)
         });
         let main = if ad.is_none() {
             let tag = self.tag();
-            Some(
-                Rpc::new(&self.cfg.video_server, 443, tag, 1_500, spec.total_bytes())
-                    .keep_open(),
-            )
+            Some(Rpc::new(&self.cfg.video_server, 443, tag, 1_500, spec.total_bytes()).keep_open())
         } else {
             None
         };
-        let phase = if ad.is_some() { Phase::AdLoading } else { Phase::Loading };
+        let phase = if ad.is_some() {
+            Phase::AdLoading
+        } else {
+            Phase::Loading
+        };
         self.player = Some(Player {
             spec,
             main,
@@ -215,8 +224,7 @@ impl YouTubeApp {
         match p.phase {
             Phase::AdPlaying => {
                 let (ad_spec, ad_rpc) = p.ad.as_ref().expect("ad phase");
-                let ad_received =
-                    ad_rpc.bytes_received(cx.host).min(ad_spec.total_bytes());
+                let ad_received = ad_rpc.bytes_received(cx.host).min(ad_spec.total_bytes());
                 let ad_rate = ad_spec.bitrate_bps / 8.0;
                 p.ad_consumed = (p.ad_consumed + dt * ad_rate).min(ad_received as f64);
                 if let Some(after) = skippable_after {
@@ -260,8 +268,7 @@ impl YouTubeApp {
                         }
                         if p.main.is_none() {
                             p.main = Some(
-                                Rpc::new(&video_server, 443, next_tag, 1_500, total)
-                                    .keep_open(),
+                                Rpc::new(&video_server, 443, next_tag, 1_500, total).keep_open(),
                             );
                             if let Some(main) = &mut p.main {
                                 main.poll(cx.host, cx.now);
@@ -274,16 +281,12 @@ impl YouTubeApp {
                         let startup = ad_rate * startup_buffer.as_secs_f64();
                         let buffered = ad_received as f64 - p.ad_consumed;
                         match p.phase {
-                            Phase::AdLoading
-                                if buffered >= startup || ad_received == ad_total =>
-                            {
+                            Phase::AdLoading if buffered >= startup || ad_received == ad_total => {
                                 cx.ui.set_visible(cx.now, "player_progress", false);
                                 cx.ui.set_text(cx.now, "player_status", "ad");
                                 Some(Phase::AdPlaying)
                             }
-                            Phase::AdPlaying
-                                if buffered <= 0.0 && ad_received < ad_total =>
-                            {
+                            Phase::AdPlaying if buffered <= 0.0 && ad_received < ad_total => {
                                 cx.ui.set_visible(cx.now, "player_progress", true);
                                 Some(Phase::AdLoading)
                             }
@@ -343,19 +346,25 @@ impl YouTubeApp {
                     .unwrap_or(0);
                 let playable = (received as f64 - p.consumed).max(0.0);
                 let to_end = (total as f64 - p.consumed).max(0.0);
-                let horizon = if received < total { playable.min(to_end) } else { to_end };
+                let horizon = if received < total {
+                    playable.min(to_end)
+                } else {
+                    to_end
+                };
                 Some(cx.now + SimDuration::from_secs_f64((horizon / rate).max(0.005)))
             }
             Phase::AdPlaying => {
                 let (ad_spec, ad_rpc) = p.ad.as_ref().expect("ad phase");
                 let ad_rate = ad_spec.bitrate_bps / 8.0;
                 let ad_total = ad_spec.total_bytes() as f64;
-                let ad_received =
-                    ad_rpc.bytes_received(cx.host).min(ad_spec.total_bytes()) as f64;
+                let ad_received = ad_rpc.bytes_received(cx.host).min(ad_spec.total_bytes()) as f64;
                 let playable = (ad_received - p.ad_consumed).max(0.0);
                 let to_end = (ad_total - p.ad_consumed).max(0.0);
-                let mut horizon =
-                    if ad_received < ad_total { playable.min(to_end) } else { to_end };
+                let mut horizon = if ad_received < ad_total {
+                    playable.min(to_end)
+                } else {
+                    to_end
+                };
                 // Wake when the skip button becomes eligible, too.
                 if let Some(after) = skippable_after {
                     let to_skip = ad_rate * after.as_secs_f64() - p.ad_consumed;
@@ -463,9 +472,7 @@ impl App for YouTubeApp {
                     if let Some(list) = root.find_mut("results") {
                         list.children = names
                             .iter()
-                            .map(|n| {
-                                View::new("TextView", &format!("result_{n}")).with_text(n)
-                            })
+                            .map(|n| View::new("TextView", &format!("result_{n}")).with_text(n))
                             .collect();
                     }
                 });

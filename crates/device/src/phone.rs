@@ -122,9 +122,7 @@ impl NetAttachment {
     pub fn label(&self) -> &'static str {
         match self {
             NetAttachment::Cell(b) => match b.rrc_state() {
-                radio::RrcState::Dch
-                | radio::RrcState::Fach
-                | radio::RrcState::Pch => "3G",
+                radio::RrcState::Dch | radio::RrcState::Fach | radio::RrcState::Pch => "3G",
                 _ => "LTE",
             },
             NetAttachment::Wifi { .. } => "WiFi",
@@ -192,12 +190,24 @@ impl Phone {
         cpu: &'a mut CpuMeter,
         now: SimTime,
     ) -> AppCx<'a> {
-        AppCx { now, host, ui, rng, cpu }
+        AppCx {
+            now,
+            host,
+            ui,
+            rng,
+            cpu,
+        }
     }
 
     /// Inject a UI interaction (controller entry point).
     pub fn inject_ui(&mut self, ev: &UiEvent, now: SimTime) {
-        let mut cx = Self::cx(&mut self.host, &mut self.ui, &mut self.rng, &mut self.cpu, now);
+        let mut cx = Self::cx(
+            &mut self.host,
+            &mut self.ui,
+            &mut self.rng,
+            &mut self.cpu,
+            now,
+        );
         self.app.on_ui_event(ev, &mut cx);
     }
 
@@ -216,8 +226,13 @@ impl Phone {
     pub fn tick(&mut self, now: SimTime) {
         if !self.started {
             self.started = true;
-            let mut cx =
-                Self::cx(&mut self.host, &mut self.ui, &mut self.rng, &mut self.cpu, now);
+            let mut cx = Self::cx(
+                &mut self.host,
+                &mut self.ui,
+                &mut self.rng,
+                &mut self.cpu,
+                now,
+            );
             self.app.start(&mut cx);
         }
         // 1. Downlink into the stack (through the capture tap).
@@ -238,8 +253,13 @@ impl Phone {
         }
         // 2. App logic.
         {
-            let mut cx =
-                Self::cx(&mut self.host, &mut self.ui, &mut self.rng, &mut self.cpu, now);
+            let mut cx = Self::cx(
+                &mut self.host,
+                &mut self.ui,
+                &mut self.rng,
+                &mut self.cpu,
+                now,
+            );
             self.app.tick(&mut cx);
         }
         // 3. Protocol machinery, then uplink through the capture tap.

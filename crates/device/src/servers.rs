@@ -80,7 +80,8 @@ impl RpcServer {
             for m in markers {
                 if let Some((Kind::Request, tag, resp_bytes)) = proto::unpack(m) {
                     if self.delay.is_zero() {
-                        host.sock_mut(s).send_marked(resp_bytes.max(1), proto::resp(tag));
+                        host.sock_mut(s)
+                            .send_marked(resp_bytes.max(1), proto::resp(tag));
                     } else {
                         let d = rng.jittered(self.delay, self.delay_jitter);
                         self.pending.push(now + d, (s, tag, resp_bytes));
@@ -89,7 +90,8 @@ impl RpcServer {
             }
         }
         while let Some((_, (s, tag, resp_bytes))) = self.pending.pop_due(now) {
-            host.sock_mut(s).send_marked(resp_bytes.max(1), proto::resp(tag));
+            host.sock_mut(s)
+                .send_marked(resp_bytes.max(1), proto::resp(tag));
         }
     }
 }
@@ -152,7 +154,8 @@ impl ServerApp for PushServer {
             for m in markers {
                 match proto::unpack(m) {
                     Some((Kind::Request, tag, resp_bytes)) => {
-                        host.sock_mut(s).send_marked(resp_bytes.max(1), proto::resp(tag));
+                        host.sock_mut(s)
+                            .send_marked(resp_bytes.max(1), proto::resp(tag));
                     }
                     Some((Kind::Subscribe, _, _)) => {
                         self.subscribers.push(s);
@@ -248,7 +251,8 @@ impl ServerApp for FacebookOrigin {
             }
         }
         while let Some((_, (s, tag, resp_bytes))) = self.pending.pop_due(now) {
-            host.sock_mut(s).send_marked(resp_bytes.max(1), proto::resp(tag));
+            host.sock_mut(s)
+                .send_marked(resp_bytes.max(1), proto::resp(tag));
             // Relay the post to every live subscriber.
             for &sub in &self.subscribers {
                 if host.sock(sub).is_established() && !host.sock(sub).is_closed() {
@@ -354,7 +358,11 @@ impl Internet {
 
     /// Earliest instant any server has work.
     pub fn next_wake(&self) -> Option<SimTime> {
-        let mut wake = if self.dns_egress.is_empty() { None } else { Some(SimTime::ZERO) };
+        let mut wake = if self.dns_egress.is_empty() {
+            None
+        } else {
+            Some(SimTime::ZERO)
+        };
         for node in &self.nodes {
             wake = earlier(wake, node.host.next_wake());
             wake = earlier(wake, node.app.next_wake());
@@ -396,12 +404,18 @@ mod tests {
     #[test]
     fn rpc_server_answers_requests() {
         let mut net = Internet::new(resolver(), DetRng::seed_from_u64(1));
-        net.add_server("web.example.com", IpAddr::new(93, 184, 0, 1), Box::new(RpcServer::new(&[80])));
+        net.add_server(
+            "web.example.com",
+            IpAddr::new(93, 184, 0, 1),
+            Box::new(RpcServer::new(&[80])),
+        );
         let mut client = Host::new(IpAddr::new(10, 0, 0, 1), resolver(), TcpConfig::default());
         // DNS round.
         assert!(client.resolve("web.example.com", SimTime::ZERO).is_none());
         pump(&mut client, &mut net, SimTime::ZERO);
-        let ip = client.resolve("web.example.com", SimTime::ZERO).expect("resolved");
+        let ip = client
+            .resolve("web.example.com", SimTime::ZERO)
+            .expect("resolved");
         let s = client.connect(SocketAddr::new(ip, 80));
         client.sock_mut(s).send_marked(500, proto::req(9, 30_000));
         pump(&mut client, &mut net, SimTime::ZERO);
@@ -417,7 +431,11 @@ mod tests {
             IpAddr::new(31, 13, 0, 9),
             Box::new(PushServer::new(
                 &[8883],
-                PushSchedule { interval: Some(SimDuration::from_secs(60)), bytes: 9_000, offset: None },
+                PushSchedule {
+                    interval: Some(SimDuration::from_secs(60)),
+                    bytes: 9_000,
+                    offset: None,
+                },
             )),
         );
         let mut client = Host::new(IpAddr::new(10, 0, 0, 1), resolver(), TcpConfig::default());
@@ -436,7 +454,10 @@ mod tests {
         assert_eq!(client.sock(s).total_received(), 9_000);
         let markers = client.sock_mut(s).take_markers();
         assert_eq!(markers.len(), 1);
-        assert!(matches!(proto::unpack(markers[0]), Some((Kind::Push, _, 9_000))));
+        assert!(matches!(
+            proto::unpack(markers[0]),
+            Some((Kind::Push, _, 9_000))
+        ));
         // And again a minute later.
         pump(&mut client, &mut net, SimTime::from_secs(120));
         assert_eq!(client.sock(s).total_received(), 18_000);

@@ -124,17 +124,29 @@ pub struct ViewSignature {
 impl ViewSignature {
     /// Signature matching a resource id.
     pub fn by_id(id: &str) -> ViewSignature {
-        ViewSignature { class: None, id: Some(id.to_string()), desc: None }
+        ViewSignature {
+            class: None,
+            id: Some(id.to_string()),
+            desc: None,
+        }
     }
 
     /// Signature matching a class name.
     pub fn by_class(class: &str) -> ViewSignature {
-        ViewSignature { class: Some(class.to_string()), id: None, desc: None }
+        ViewSignature {
+            class: Some(class.to_string()),
+            id: None,
+            desc: None,
+        }
     }
 
     /// Signature matching a developer description.
     pub fn by_desc(desc: &str) -> ViewSignature {
-        ViewSignature { class: None, id: None, desc: Some(desc.to_string()) }
+        ViewSignature {
+            class: None,
+            id: None,
+            desc: Some(desc.to_string()),
+        }
     }
 
     /// Builder: additionally require a class name.
@@ -205,7 +217,13 @@ impl UiTree {
         let delay = self.rng.jittered(self.draw_delay, self.draw_jitter);
         let drawn = (now + delay).max(self.last_draw);
         self.last_draw = drawn;
-        self.camera.push(drawn, ScreenEvent { label: label.to_string(), changed_at: now });
+        self.camera.push(
+            drawn,
+            ScreenEvent {
+                label: label.to_string(),
+                changed_at: now,
+            },
+        );
     }
 
     /// Convenience: set a view's visibility.
@@ -232,8 +250,7 @@ impl UiTree {
     /// Convenience: prepend an item (e.g. a news-feed entry) to a container.
     pub fn prepend_item(&mut self, now: SimTime, container: &str, class: &str, text: &str) {
         let label = format!("{container}:item:{text}");
-        let item =
-            View::new(class, &format!("{container}_item_{}", text.len())).with_text(text);
+        let item = View::new(class, &format!("{container}_item_{}", text.len())).with_text(text);
         self.mutate(now, &label, |root| {
             if let Some(v) = root.find_mut(container) {
                 v.children.insert(0, item);

@@ -23,7 +23,11 @@ pub struct World {
 impl World {
     /// Assemble a world.
     pub fn new(phone: Phone, internet: Internet) -> World {
-        World { phone, peers: Vec::new(), internet }
+        World {
+            phone,
+            peers: Vec::new(),
+            internet,
+        }
     }
 
     /// Attach an autonomous peer device.
@@ -71,9 +75,7 @@ impl Tick for World {
             // Route downlink traffic to whichever device owns the address.
             if p.dst.ip == self.phone.host.ip {
                 self.phone.deliver_downlink(p, now);
-            } else if let Some(peer) =
-                self.peers.iter_mut().find(|peer| peer.host.ip == p.dst.ip)
-            {
+            } else if let Some(peer) = self.peers.iter_mut().find(|peer| peer.host.ip == p.dst.ip) {
                 peer.deliver_downlink(p, now);
             }
         }

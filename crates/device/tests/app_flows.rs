@@ -90,8 +90,10 @@ impl App for NullApp {
 
 #[test]
 fn facebook_status_post_appears_via_local_echo() {
-    let mut world =
-        world_with(Box::new(FacebookApp::new(FacebookConfig::new(FbVersion::ListView50))), 1);
+    let mut world = world_with(
+        Box::new(FacebookApp::new(FacebookConfig::new(FbVersion::ListView50))),
+        1,
+    );
     drive(
         &mut world,
         vec![
@@ -104,7 +106,9 @@ fn facebook_status_post_appears_via_local_echo() {
             ),
             (
                 SimTime::from_secs(3),
-                UiEvent::Click { target: ViewSignature::by_id("post_button") },
+                UiEvent::Click {
+                    target: ViewSignature::by_id("post_button"),
+                },
             ),
         ],
         SimTime::from_secs(10),
@@ -122,21 +126,36 @@ fn facebook_status_post_appears_via_local_echo() {
 
 #[test]
 fn facebook_scroll_triggers_feed_update_cycle() {
-    let mut world =
-        world_with(Box::new(FacebookApp::new(FacebookConfig::new(FbVersion::WebView18))), 2);
+    let mut world = world_with(
+        Box::new(FacebookApp::new(FacebookConfig::new(FbVersion::WebView18))),
+        2,
+    );
     drive(
         &mut world,
         vec![(
             SimTime::from_secs(2),
-            UiEvent::Scroll { target: ViewSignature::by_id("news_feed") },
+            UiEvent::Scroll {
+                target: ViewSignature::by_id("news_feed"),
+            },
         )],
         SimTime::from_secs(30),
     );
     // The progress bar showed and hid again.
-    let labels: Vec<String> =
-        world.phone.ui.camera.iter().map(|(_, e)| e.record_label()).collect();
-    assert!(labels.iter().any(|l| l == "feed_progress:show"), "{labels:?}");
-    assert!(labels.iter().any(|l| l == "feed_progress:hide"), "{labels:?}");
+    let labels: Vec<String> = world
+        .phone
+        .ui
+        .camera
+        .iter()
+        .map(|(_, e)| e.record_label())
+        .collect();
+    assert!(
+        labels.iter().any(|l| l == "feed_progress:show"),
+        "{labels:?}"
+    );
+    assert!(
+        labels.iter().any(|l| l == "feed_progress:hide"),
+        "{labels:?}"
+    );
     // A friend post landed on the list.
     assert!(world.phone.ui.root().any_text_contains("friend post #1"));
     // WebView fetched multiple stages' worth of data.
@@ -146,8 +165,10 @@ fn facebook_scroll_triggers_feed_update_cycle() {
 
 #[test]
 fn facebook_webview_feed_uses_webview_class() {
-    let world =
-        world_with(Box::new(FacebookApp::new(FacebookConfig::new(FbVersion::WebView18))), 3);
+    let world = world_with(
+        Box::new(FacebookApp::new(FacebookConfig::new(FbVersion::WebView18))),
+        3,
+    );
     let mut world = world;
     drive(&mut world, vec![], SimTime::from_secs(3));
     let feed = world.phone.ui.root().find("news_feed").unwrap();
@@ -178,7 +199,9 @@ fn youtube_search_play_finish() {
             (SimTime::from_secs(1), UiEvent::KeyEnter),
             (
                 SimTime::from_secs(5),
-                UiEvent::Click { target: ViewSignature::by_id("result_clip") },
+                UiEvent::Click {
+                    target: ViewSignature::by_id("result_clip"),
+                },
             ),
         ],
         SimTime::from_secs(60),
@@ -186,9 +209,17 @@ fn youtube_search_play_finish() {
     let status = world.phone.ui.root().find("player_status").unwrap();
     assert_eq!(status.text, "finished");
     // On WiFi a 15 s clip should not stall after the initial load.
-    let labels: Vec<String> =
-        world.phone.ui.camera.iter().map(|(_, e)| e.record_label()).collect();
-    let shows = labels.iter().filter(|l| *l == "player_progress:show").count();
+    let labels: Vec<String> = world
+        .phone
+        .ui
+        .camera
+        .iter()
+        .map(|(_, e)| e.record_label())
+        .collect();
+    let shows = labels
+        .iter()
+        .filter(|l| *l == "player_progress:show")
+        .count();
     assert_eq!(shows, 1, "only the initial loading: {labels:?}");
 }
 
@@ -221,7 +252,9 @@ fn youtube_preroll_ad_plays_before_video() {
             (SimTime::from_secs(1), UiEvent::KeyEnter),
             (
                 SimTime::from_secs(5),
-                UiEvent::Click { target: ViewSignature::by_id("result_clip") },
+                UiEvent::Click {
+                    target: ViewSignature::by_id("result_clip"),
+                },
             ),
         ],
         SimTime::from_secs(90),
@@ -280,20 +313,29 @@ fn youtube_skip_ad_button_appears_and_skips() {
             (SimTime::from_secs(1), UiEvent::KeyEnter),
             (
                 SimTime::from_secs(4),
-                UiEvent::Click { target: ViewSignature::by_id("result_clip") },
+                UiEvent::Click {
+                    target: ViewSignature::by_id("result_clip"),
+                },
             ),
             // The skip button appears 5 s into ad playback; click it at +8 s.
             (
                 SimTime::from_secs(12),
-                UiEvent::Click { target: ViewSignature::by_id("skip_ad") },
+                UiEvent::Click {
+                    target: ViewSignature::by_id("skip_ad"),
+                },
             ),
         ],
         SimTime::from_secs(60),
     );
     // The button showed, the ad was cut short, and the main video finished
     // well before the 30 s ad would have ended on its own.
-    let labels: Vec<String> =
-        world.phone.ui.camera.iter().map(|(_, e)| e.record_label()).collect();
+    let labels: Vec<String> = world
+        .phone
+        .ui
+        .camera
+        .iter()
+        .map(|(_, e)| e.record_label())
+        .collect();
     assert!(labels.iter().any(|l| l == "skip_ad:show"), "{labels:?}");
     assert!(labels.iter().any(|l| l == "skip_ad:hide"), "{labels:?}");
     let status = world.phone.ui.root().find("player_status").unwrap();
@@ -328,7 +370,11 @@ fn browser_load_sets_content_and_hides_progress() {
     );
     let root = world.phone.ui.root();
     assert!(!root.find("page_progress").unwrap().visible);
-    assert!(root.find("page_content").unwrap().text.contains("example.com"));
+    assert!(root
+        .find("page_content")
+        .unwrap()
+        .text
+        .contains("example.com"));
     // HTML + 8 subresources were fetched.
     let (_, dl) = world.phone.capture.volume();
     assert!(dl > 150_000, "downlink {dl}");

@@ -1,0 +1,329 @@
+//! Campaign specification and the work-sharing parallel executor.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One cell of a campaign grid: a labelled, seeded unit of work producing a
+/// result row of type `T`. The closure builds and runs its own simulation
+/// world — jobs share nothing, which is what makes the campaign
+/// order-independent and therefore safely parallel.
+pub struct Job<T> {
+    /// Human-readable label, unique within the campaign (e.g. `"lte/wv"`).
+    pub label: String,
+    /// Seed the job's world is built from.
+    pub seed: u64,
+    /// Simulated duration covered by this job, if known up front (seconds).
+    pub sim_secs: Option<f64>,
+    run: Box<dyn FnOnce() -> T + Send>,
+}
+
+/// How a job ended.
+#[derive(Debug)]
+pub enum Outcome<T> {
+    /// The job ran to completion and produced a row.
+    Ok(T),
+    /// The job panicked; the payload is the panic message. A panicking job
+    /// is reported, not propagated — the rest of the campaign still runs.
+    Panicked(String),
+}
+
+impl<T> Outcome<T> {
+    /// The row, if the job succeeded.
+    pub fn ok(&self) -> Option<&T> {
+        match self {
+            Outcome::Ok(v) => Some(v),
+            Outcome::Panicked(_) => None,
+        }
+    }
+
+    /// Whether the job succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Outcome::Ok(_))
+    }
+}
+
+/// A finished job: the spec's identity fields plus outcome and timing.
+/// `wall` is host wall-clock and therefore nondeterministic; it goes to the
+/// JSON journal only, never to stdout rows.
+#[derive(Debug)]
+pub struct JobResult<T> {
+    /// Label copied from the [`Job`].
+    pub label: String,
+    /// Seed copied from the [`Job`].
+    pub seed: u64,
+    /// Simulated duration copied from the [`Job`].
+    pub sim_secs: Option<f64>,
+    /// Host wall-clock time the job took (nondeterministic).
+    pub wall: Duration,
+    /// The row, or the panic message.
+    pub outcome: Outcome<T>,
+}
+
+/// A named grid of [`Job`]s. Build with [`Campaign::job`], execute with
+/// [`Campaign::run`].
+pub struct Campaign<T> {
+    /// Campaign name; becomes the JSON report's file stem.
+    pub name: String,
+    jobs: Vec<Job<T>>,
+}
+
+impl<T: Send> Campaign<T> {
+    /// Empty campaign.
+    pub fn new(name: impl Into<String>) -> Campaign<T> {
+        Campaign {
+            name: name.into(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Append a job. Jobs run in any order but their results always come
+    /// back in append order.
+    pub fn job(
+        &mut self,
+        label: impl Into<String>,
+        seed: u64,
+        run: impl FnOnce() -> T + Send + 'static,
+    ) -> &mut Self {
+        self.jobs.push(Job {
+            label: label.into(),
+            seed,
+            sim_secs: None,
+            run: Box::new(run),
+        });
+        self
+    }
+
+    /// Append a job that covers a known simulated duration (recorded in the
+    /// run journal).
+    pub fn timed_job(
+        &mut self,
+        label: impl Into<String>,
+        seed: u64,
+        sim_secs: f64,
+        run: impl FnOnce() -> T + Send + 'static,
+    ) -> &mut Self {
+        self.jobs.push(Job {
+            label: label.into(),
+            seed,
+            sim_secs: Some(sim_secs),
+            run: Box::new(run),
+        });
+        self
+    }
+
+    /// Number of jobs in the grid.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Execute every job on up to `workers` scoped threads and return the
+    /// results **in job order**, whatever order they finished in.
+    ///
+    /// Workers pull the next unclaimed job index from a shared atomic
+    /// cursor (work-sharing: a free worker always takes the next job, so an
+    /// uneven grid balances itself). Each job runs under `catch_unwind`; a
+    /// panic becomes [`Outcome::Panicked`] for that slot and the campaign
+    /// carries on. Because jobs are independent and slots are positional,
+    /// the returned sequence — and anything printed from it — is identical
+    /// for `workers = 1` and `workers = N`.
+    pub fn run(self, workers: usize) -> CampaignRun<T> {
+        let Campaign { name, jobs } = self;
+        let n = jobs.len();
+        let workers = workers.max(1).min(n.max(1));
+        let started = Instant::now();
+
+        // Spec slots the workers take from; result slots they fill.
+        let pending: Vec<Mutex<Option<Job<T>>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let done: Vec<Mutex<Option<JobResult<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let Job {
+                        label,
+                        seed,
+                        sim_secs,
+                        run,
+                    } = pending[idx]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("job claimed twice");
+                    let t0 = Instant::now();
+                    let outcome = match catch_unwind(AssertUnwindSafe(run)) {
+                        Ok(row) => Outcome::Ok(row),
+                        Err(payload) => Outcome::Panicked(panic_message(payload.as_ref())),
+                    };
+                    *done[idx].lock().unwrap() = Some(JobResult {
+                        label,
+                        seed,
+                        sim_secs,
+                        wall: t0.elapsed(),
+                        outcome,
+                    });
+                });
+            }
+        });
+
+        CampaignRun {
+            name,
+            workers,
+            wall: started.elapsed(),
+            jobs: done
+                .into_iter()
+                .map(|slot| slot.into_inner().unwrap().expect("job never ran"))
+                .collect(),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A completed campaign: every [`JobResult`] in job order, plus overall
+/// wall-clock and the worker count used.
+#[derive(Debug)]
+pub struct CampaignRun<T> {
+    /// Campaign name.
+    pub name: String,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock for the whole campaign (nondeterministic).
+    pub wall: Duration,
+    /// Per-job results, in job (not completion) order.
+    pub jobs: Vec<JobResult<T>>,
+}
+
+impl<T> CampaignRun<T> {
+    /// Rows of the successful jobs, in job order.
+    pub fn ok_outputs(self) -> Vec<T> {
+        self.jobs
+            .into_iter()
+            .filter_map(|j| match j.outcome {
+                Outcome::Ok(v) => Some(v),
+                Outcome::Panicked(_) => None,
+            })
+            .collect()
+    }
+
+    /// Rows of all jobs in job order, resuming the first panic if any job
+    /// failed. This restores pre-harness semantics for callers (tests,
+    /// library users) that treat a panic as a bug rather than a data point.
+    pub fn into_outputs(self) -> Vec<T> {
+        self.jobs
+            .into_iter()
+            .map(|j| match j.outcome {
+                Outcome::Ok(v) => v,
+                Outcome::Panicked(msg) => panic!("job {} panicked: {msg}", j.label),
+            })
+            .collect()
+    }
+
+    /// Number of jobs whose outcome is [`Outcome::Panicked`].
+    pub fn failed(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.outcome.is_ok()).count()
+    }
+}
+
+/// Number of workers to use when the user doesn't say: the host's available
+/// parallelism, or 1 if that can't be determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let mut c: Campaign<usize> = Campaign::new("order");
+        for i in 0..32 {
+            // Earlier jobs sleep longer so completion order inverts job order.
+            c.job(format!("j{i}"), i as u64, move || {
+                std::thread::sleep(Duration::from_micros((32 - i) as u64 * 50));
+                i
+            });
+        }
+        let run = c.run(4);
+        assert_eq!(run.workers, 4);
+        let rows: Vec<usize> = run.into_outputs();
+        assert_eq!(rows, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_matches_many() {
+        let build = || {
+            let mut c: Campaign<u64> = Campaign::new("det");
+            for i in 0..9u64 {
+                c.job(format!("j{i}"), i, move || i * i + 1);
+            }
+            c
+        };
+        let a = build().run(1);
+        let b = build().run(4);
+        let key = |r: &CampaignRun<u64>| {
+            r.jobs
+                .iter()
+                .map(|j| (j.label.clone(), j.seed, *j.outcome.ok().unwrap()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn panic_becomes_failed_job_not_abort() {
+        let mut c: Campaign<u32> = Campaign::new("panic");
+        c.job("ok-a", 1, || 10);
+        c.job("boom", 2, || panic!("deliberate test panic"));
+        c.job("ok-b", 3, || 30);
+        let run = c.run(2);
+        assert_eq!(run.failed(), 1);
+        assert_eq!(run.jobs[0].outcome.ok(), Some(&10));
+        assert!(matches!(
+            &run.jobs[1].outcome,
+            Outcome::Panicked(msg) if msg.contains("deliberate test panic")
+        ));
+        assert_eq!(run.jobs[2].outcome.ok(), Some(&30));
+        assert_eq!(run.ok_outputs(), vec![10, 30]);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let mut c: Campaign<u8> = Campaign::new("clamp");
+        c.job("only", 7, || 42);
+        let run = c.run(0);
+        assert_eq!(run.workers, 1);
+        assert_eq!(run.into_outputs(), vec![42]);
+    }
+
+    #[test]
+    fn empty_campaign_runs() {
+        let c: Campaign<u8> = Campaign::new("empty");
+        assert!(c.is_empty());
+        let run = c.run(8);
+        assert!(run.jobs.is_empty());
+    }
+}

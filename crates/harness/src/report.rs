@@ -1,0 +1,189 @@
+//! Machine-readable campaign reports.
+//!
+//! [`write_report`] turns a [`CampaignRun`] into a pretty-printed JSON file
+//! under a results directory: a run journal (per-job seed, wall-clock,
+//! simulated time, outcome, human row, structured data) plus cross-job
+//! aggregates. Aggregates are built with `simcore`'s merge helpers —
+//! [`Summary::merge`] for pooled moments and [`Cdf::merge`] for exact
+//! quantiles — over the sample sets each row exposes.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use simcore::{Cdf, Summary};
+
+use crate::campaign::{CampaignRun, Outcome};
+use crate::json::Json;
+
+/// A campaign result row that knows how to report itself.
+pub trait Record {
+    /// The human-readable stdout row (deterministic).
+    fn row(&self) -> String;
+
+    /// Structured payload for the JSON report.
+    fn to_json(&self) -> Json;
+
+    /// Named sample sets to aggregate across all jobs of the campaign.
+    /// Sets with the same name are merged (exact CDF concat + pooled
+    /// summary moments) into the report's `aggregates` object.
+    fn sample_sets(&self) -> Vec<(&'static str, Vec<f64>)> {
+        Vec::new()
+    }
+}
+
+/// Build the full JSON document for a finished campaign.
+pub fn report_json<T: Record>(run: &CampaignRun<T>) -> Json {
+    let jobs = run.jobs.iter().map(|j| {
+        let mut fields = vec![
+            ("label".to_string(), Json::from(j.label.as_str())),
+            ("seed".to_string(), Json::from(j.seed)),
+            ("sim_secs".to_string(), Json::from(j.sim_secs)),
+            ("wall_ms".to_string(), Json::Num(j.wall.as_secs_f64() * 1e3)),
+        ];
+        match &j.outcome {
+            Outcome::Ok(row) => {
+                fields.push(("outcome".to_string(), Json::from("ok")));
+                fields.push(("row".to_string(), Json::from(row.row())));
+                fields.push(("data".to_string(), row.to_json()));
+            }
+            Outcome::Panicked(msg) => {
+                fields.push(("outcome".to_string(), Json::from("panicked")));
+                fields.push(("panic".to_string(), Json::from(msg.as_str())));
+            }
+        }
+        Json::Obj(fields)
+    });
+
+    // Gather each row's sample sets by name, preserving first-seen order.
+    let mut names: Vec<&'static str> = Vec::new();
+    let mut sets: Vec<(Vec<Summary>, Vec<Cdf>)> = Vec::new();
+    for j in &run.jobs {
+        if let Outcome::Ok(row) = &j.outcome {
+            for (name, samples) in row.sample_sets() {
+                let at = match names.iter().position(|n| *n == name) {
+                    Some(i) => i,
+                    None => {
+                        names.push(name);
+                        sets.push((Vec::new(), Vec::new()));
+                        names.len() - 1
+                    }
+                };
+                sets[at].0.push(Summary::of(&samples));
+                sets[at].1.push(Cdf::of(&samples));
+            }
+        }
+    }
+    let aggregates = names
+        .iter()
+        .zip(&sets)
+        .map(|(name, (summaries, cdfs))| {
+            let s = Summary::merge(summaries);
+            let c = Cdf::merge(cdfs);
+            let quantiles = if c.values.is_empty() {
+                Json::Null
+            } else {
+                Json::obj([
+                    ("p10", Json::Num(c.quantile(0.10))),
+                    ("p50", Json::Num(c.quantile(0.50))),
+                    ("p90", Json::Num(c.quantile(0.90))),
+                ])
+            };
+            (
+                name.to_string(),
+                Json::obj([
+                    ("n", Json::from(s.n)),
+                    ("mean", Json::Num(s.mean)),
+                    ("std_dev", Json::Num(s.std_dev)),
+                    ("min", Json::Num(s.min)),
+                    ("max", Json::Num(s.max)),
+                    ("quantiles", quantiles),
+                    ("cdf", Json::nums(&c.values)),
+                ]),
+            )
+        })
+        .collect();
+
+    Json::obj([
+        ("campaign", Json::from(run.name.as_str())),
+        ("workers", Json::from(run.workers)),
+        ("wall_ms", Json::Num(run.wall.as_secs_f64() * 1e3)),
+        ("jobs_total", Json::from(run.jobs.len())),
+        ("jobs_failed", Json::from(run.failed())),
+        ("jobs", Json::arr(jobs)),
+        ("aggregates", Json::Obj(aggregates)),
+    ])
+}
+
+/// Write the campaign report to `<dir>/<campaign-name>.json`, creating the
+/// directory if needed. Returns the path written.
+pub fn write_report<T: Record>(dir: &Path, run: &CampaignRun<T>) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", run.name.replace(['/', ' '], "_")));
+    std::fs::write(&path, report_json(run).pretty())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Campaign;
+
+    struct Row {
+        value: f64,
+    }
+
+    impl Record for Row {
+        fn row(&self) -> String {
+            format!("value = {}", self.value)
+        }
+        fn to_json(&self) -> Json {
+            Json::obj([("value", Json::Num(self.value))])
+        }
+        fn sample_sets(&self) -> Vec<(&'static str, Vec<f64>)> {
+            vec![("value", vec![self.value, self.value + 1.0])]
+        }
+    }
+
+    fn sample_run(with_panic: bool) -> CampaignRun<Row> {
+        let mut c: Campaign<Row> = Campaign::new("unit/test");
+        c.job("a", 1, || Row { value: 1.0 });
+        c.timed_job("b", 2, 60.0, || Row { value: 3.0 });
+        if with_panic {
+            c.job("c", 3, || panic!("kaboom"));
+        }
+        c.run(2)
+    }
+
+    #[test]
+    fn report_shape_and_aggregates() {
+        let doc = report_json(&sample_run(false)).pretty();
+        assert!(doc.contains("\"campaign\": \"unit/test\""));
+        assert!(doc.contains("\"jobs_failed\": 0"));
+        assert!(doc.contains("\"sim_secs\": 60.0"));
+        assert!(doc.contains("\"row\": \"value = 1\""));
+        // Merged CDF of {1,2} ∪ {3,4}: exact, sorted.
+        assert!(doc.contains("\"cdf\": [1.0, 2.0, 3.0, 4.0]"), "{doc}");
+        assert!(doc.contains("\"n\": 4"));
+    }
+
+    #[test]
+    fn panicked_job_lands_in_report() {
+        let run = sample_run(true);
+        assert_eq!(run.failed(), 1);
+        let doc = report_json(&run).pretty();
+        assert!(doc.contains("\"outcome\": \"panicked\""));
+        assert!(doc.contains("\"panic\": \"kaboom\""));
+        // Failed job contributes no samples; aggregates still exact for the rest.
+        assert!(doc.contains("\"n\": 4"));
+    }
+
+    #[test]
+    fn write_report_creates_file() {
+        let dir = std::env::temp_dir().join(format!("harness-report-{}", std::process::id()));
+        let path = write_report(&dir, &sample_run(false)).unwrap();
+        assert_eq!(path.file_name().unwrap(), "unit_test.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with('{') && body.ends_with("}\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -71,7 +71,10 @@ impl FlowKey {
 
     /// The same flow in the opposite direction.
     pub const fn reversed(self) -> FlowKey {
-        FlowKey { src: self.dst, dst: self.src }
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+        }
     }
 
     /// Canonical bidirectional identity: the lexicographically smaller

@@ -46,7 +46,10 @@ pub fn parse_response(payload: &[u8]) -> Option<(String, IpAddr)> {
     if parts.next().is_some() {
         return None;
     }
-    Some((name.to_string(), IpAddr::new(octets[0], octets[1], octets[2], octets[3])))
+    Some((
+        name.to_string(),
+        IpAddr::new(octets[0], octets[1], octets[2], octets[3]),
+    ))
 }
 
 /// Authoritative name directory plus the resolver endpoint.
@@ -60,7 +63,10 @@ pub struct DnsServer {
 impl DnsServer {
     /// New resolver at `addr` with an empty directory.
     pub fn new(addr: SocketAddr) -> DnsServer {
-        DnsServer { addr, directory: HashMap::new() }
+        DnsServer {
+            addr,
+            directory: HashMap::new(),
+        }
     }
 
     /// Register `name -> ip`.

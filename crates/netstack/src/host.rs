@@ -107,7 +107,10 @@ impl Host {
         }
         self.dns_pending
             .entry(name.to_string())
-            .or_insert(PendingQuery { next_retry: now, inflight: false });
+            .or_insert(PendingQuery {
+                next_retry: now,
+                inflight: false,
+            });
         None
     }
 
@@ -140,11 +143,13 @@ impl Host {
                 // New connection to a listening port?
                 let is_syn = pkt.tcp.is_some_and(|h| h.flags.syn && !h.flags.ack);
                 if is_syn && self.listen_ports.contains(&pkt.dst.port) {
-                    let sock =
-                        TcpSocket::accept_from_syn(pkt.dst, pkt.src, self.cfg.clone());
+                    let sock = TcpSocket::accept_from_syn(pkt.dst, pkt.src, self.cfg.clone());
                     self.sockets.push(sock);
                     let id = self.sockets.len() - 1;
-                    self.accept_queues.entry(pkt.dst.port).or_default().push_back(id);
+                    self.accept_queues
+                        .entry(pkt.dst.port)
+                        .or_default()
+                        .push_back(id);
                 }
             }
         }
@@ -172,7 +177,7 @@ impl Host {
                 tcp: None,
                 payload_len: body.len() as u32,
                 udp_payload: Some(body),
-            markers: Vec::new(),
+                markers: Vec::new(),
             };
             let id = self.next_packet_id();
             self.egress.push_back(IpPacket { id, ..pkt });
@@ -211,12 +216,20 @@ impl Host {
 
     /// Earliest instant this host needs service.
     pub fn next_wake(&self) -> Option<SimTime> {
-        let mut wake = if self.egress.is_empty() { None } else { Some(SimTime::ZERO) };
+        let mut wake = if self.egress.is_empty() {
+            None
+        } else {
+            Some(SimTime::ZERO)
+        };
         for s in &self.sockets {
             wake = earlier(wake, s.next_wake());
         }
         for pq in self.dns_pending.values() {
-            let at = if pq.inflight { pq.next_retry } else { SimTime::ZERO };
+            let at = if pq.inflight {
+                pq.next_retry
+            } else {
+                SimTime::ZERO
+            };
             wake = earlier(wake, Some(at));
         }
         wake
@@ -237,8 +250,7 @@ mod tests {
         for _ in 0..10_000 {
             a.poll(now);
             b.poll(now);
-            let pkts: Vec<IpPacket> =
-                a.take_egress().into_iter().chain(b.take_egress()).collect();
+            let pkts: Vec<IpPacket> = a.take_egress().into_iter().chain(b.take_egress()).collect();
             if pkts.is_empty() {
                 break;
             }
@@ -262,8 +274,16 @@ mod tests {
 
     #[test]
     fn connect_and_transfer_through_hosts() {
-        let mut client = Host::new(IpAddr::new(10, 0, 0, 1), resolver_addr(), TcpConfig::default());
-        let mut server = Host::new(IpAddr::new(31, 13, 0, 2), resolver_addr(), TcpConfig::default());
+        let mut client = Host::new(
+            IpAddr::new(10, 0, 0, 1),
+            resolver_addr(),
+            TcpConfig::default(),
+        );
+        let mut server = Host::new(
+            IpAddr::new(31, 13, 0, 2),
+            resolver_addr(),
+            TcpConfig::default(),
+        );
         server.listen(443);
         let dns = DnsServer::new(resolver_addr());
         let c = client.connect(SocketAddr::new(server.ip, 443));
@@ -277,8 +297,16 @@ mod tests {
 
     #[test]
     fn dns_resolution_round_trip() {
-        let mut client = Host::new(IpAddr::new(10, 0, 0, 1), resolver_addr(), TcpConfig::default());
-        let mut other = Host::new(IpAddr::new(10, 0, 0, 9), resolver_addr(), TcpConfig::default());
+        let mut client = Host::new(
+            IpAddr::new(10, 0, 0, 1),
+            resolver_addr(),
+            TcpConfig::default(),
+        );
+        let mut other = Host::new(
+            IpAddr::new(10, 0, 0, 9),
+            resolver_addr(),
+            TcpConfig::default(),
+        );
         let mut dns = DnsServer::new(resolver_addr());
         dns.register("video.youtube.com", IpAddr::new(74, 125, 0, 3));
         assert!(client.resolve("video.youtube.com", SimTime::ZERO).is_none());
@@ -291,7 +319,11 @@ mod tests {
 
     #[test]
     fn dns_retries_until_answered() {
-        let mut client = Host::new(IpAddr::new(10, 0, 0, 1), resolver_addr(), TcpConfig::default());
+        let mut client = Host::new(
+            IpAddr::new(10, 0, 0, 1),
+            resolver_addr(),
+            TcpConfig::default(),
+        );
         assert!(client.resolve("x.example", SimTime::ZERO).is_none());
         client.poll(SimTime::ZERO);
         assert_eq!(client.take_egress().len(), 1);
@@ -306,8 +338,16 @@ mod tests {
 
     #[test]
     fn syn_to_closed_port_is_ignored() {
-        let mut server = Host::new(IpAddr::new(31, 13, 0, 2), resolver_addr(), TcpConfig::default());
-        let mut client = Host::new(IpAddr::new(10, 0, 0, 1), resolver_addr(), TcpConfig::default());
+        let mut server = Host::new(
+            IpAddr::new(31, 13, 0, 2),
+            resolver_addr(),
+            TcpConfig::default(),
+        );
+        let mut client = Host::new(
+            IpAddr::new(10, 0, 0, 1),
+            resolver_addr(),
+            TcpConfig::default(),
+        );
         let _c = client.connect(SocketAddr::new(server.ip, 9999));
         client.poll(SimTime::ZERO);
         for p in client.take_egress() {
@@ -320,7 +360,11 @@ mod tests {
 
     #[test]
     fn packets_for_other_hosts_are_dropped() {
-        let mut host = Host::new(IpAddr::new(10, 0, 0, 1), resolver_addr(), TcpConfig::default());
+        let mut host = Host::new(
+            IpAddr::new(10, 0, 0, 1),
+            resolver_addr(),
+            TcpConfig::default(),
+        );
         host.listen(80);
         let stray = IpPacket {
             id: 1,
@@ -330,7 +374,10 @@ mod tests {
             tcp: Some(crate::packet::TcpHeader {
                 seq: 0,
                 ack: 0,
-                flags: crate::packet::TcpFlags { syn: true, ..Default::default() },
+                flags: crate::packet::TcpFlags {
+                    syn: true,
+                    ..Default::default()
+                },
             }),
             payload_len: 0,
             udp_payload: None,
@@ -342,7 +389,11 @@ mod tests {
 
     #[test]
     fn packet_ids_are_unique_per_host() {
-        let mut client = Host::new(IpAddr::new(10, 0, 0, 1), resolver_addr(), TcpConfig::default());
+        let mut client = Host::new(
+            IpAddr::new(10, 0, 0, 1),
+            resolver_addr(),
+            TcpConfig::default(),
+        );
         let c1 = client.connect(SocketAddr::new(IpAddr::new(1, 1, 1, 1), 80));
         let c2 = client.connect(SocketAddr::new(IpAddr::new(1, 1, 1, 2), 80));
         client.sock_mut(c1).send(0);

@@ -29,7 +29,13 @@ pub struct LinkConfig {
 impl LinkConfig {
     /// A symmetric-parameter helper for tests: given rate and delay.
     pub fn simple(bandwidth_bps: f64, latency: SimDuration) -> LinkConfig {
-        LinkConfig { bandwidth_bps, latency, jitter_frac: 0.0, loss: 0.0, queue_bytes: 0 }
+        LinkConfig {
+            bandwidth_bps,
+            latency,
+            jitter_frac: 0.0,
+            loss: 0.0,
+            queue_bytes: 0,
+        }
     }
 }
 
@@ -138,7 +144,11 @@ mod tests {
             src: SocketAddr::new(IpAddr::new(10, 0, 0, 1), 1),
             dst: SocketAddr::new(IpAddr::new(10, 0, 0, 2), 2),
             proto: Proto::Tcp,
-            tcp: Some(TcpHeader { seq: 0, ack: 0, flags: TcpFlags::default() }),
+            tcp: Some(TcpHeader {
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::default(),
+            }),
             payload_len: len,
             udp_payload: None,
             markers: Vec::new(),
@@ -155,9 +165,12 @@ mod tests {
         let cfg = LinkConfig::simple(1e6, SimDuration::from_millis(10));
         let mut p = Pipe::new(cfg, rng());
         p.send(pkt(1, 1000), SimTime::ZERO);
-        let expected = SimDuration::from_secs_f64(1040.0 * 8.0 / 1e6) + SimDuration::from_millis(10);
+        let expected =
+            SimDuration::from_secs_f64(1040.0 * 8.0 / 1e6) + SimDuration::from_millis(10);
         assert_eq!(p.next_wake(), Some(SimTime::ZERO + expected));
-        assert!(p.deliver(SimTime::ZERO + expected - SimDuration::from_micros(1)).is_empty());
+        assert!(p
+            .deliver(SimTime::ZERO + expected - SimDuration::from_micros(1))
+            .is_empty());
         assert_eq!(p.deliver(SimTime::ZERO + expected).len(), 1);
     }
 
@@ -195,8 +208,15 @@ mod tests {
         for i in 0..1000 {
             p.send(pkt(i, 100), SimTime::ZERO);
         }
-        assert!(p.stats.lost > 350 && p.stats.lost < 650, "lost {}", p.stats.lost);
-        assert_eq!(p.stats.delivered + p.in_flight() as u64 + p.stats.lost, 1000);
+        assert!(
+            p.stats.lost > 350 && p.stats.lost < 650,
+            "lost {}",
+            p.stats.lost
+        );
+        assert_eq!(
+            p.stats.delivered + p.in_flight() as u64 + p.stats.lost,
+            1000
+        );
     }
 
     #[test]

@@ -131,12 +131,8 @@ impl IpPacket {
                 // Pad or truncate to the declared payload length.
                 let declared = self.payload_len as usize;
                 match buf.len().cmp(&(HEADER_BYTES as usize + declared)) {
-                    core::cmp::Ordering::Less => {
-                        buf.resize(HEADER_BYTES as usize + declared, 0)
-                    }
-                    core::cmp::Ordering::Greater => {
-                        buf.truncate(HEADER_BYTES as usize + declared)
-                    }
+                    core::cmp::Ordering::Less => buf.resize(HEADER_BYTES as usize + declared, 0),
+                    core::cmp::Ordering::Greater => buf.truncate(HEADER_BYTES as usize + declared),
                     core::cmp::Ordering::Equal => {}
                 }
             }
@@ -193,7 +189,10 @@ mod tests {
             tcp: Some(TcpHeader {
                 seq,
                 ack: 0,
-                flags: TcpFlags { ack: true, ..Default::default() },
+                flags: TcpFlags {
+                    ack: true,
+                    ..Default::default()
+                },
             }),
             payload_len: len,
             udp_payload: None,

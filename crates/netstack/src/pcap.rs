@@ -7,8 +7,8 @@
 
 use crate::addr::FlowKey;
 use crate::packet::IpPacket;
-use simcore::{RecordLog, SimTime};
 use serde::{Deserialize, Serialize};
+use simcore::{RecordLog, SimTime};
 
 /// Direction of a captured packet relative to the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -49,7 +49,13 @@ impl Capture {
 
     /// Record a packet crossing the device boundary at `now`.
     pub fn record(&mut self, dir: Direction, pkt: &IpPacket, now: SimTime) {
-        self.log.push(now, PacketRecord { dir, pkt: pkt.clone() });
+        self.log.push(
+            now,
+            PacketRecord {
+                dir,
+                pkt: pkt.clone(),
+            },
+        );
     }
 
     /// The raw trace.
@@ -113,7 +119,9 @@ mod tests {
         cap.record(Direction::Downlink, &pkt(2, 200), SimTime::from_secs(2));
         cap.record(Direction::Uplink, &pkt(3, 300), SimTime::from_secs(3));
         assert_eq!(cap.len(), 3);
-        let w = cap.trace().window(SimTime::from_secs(2), SimTime::from_secs(3));
+        let w = cap
+            .trace()
+            .window(SimTime::from_secs(2), SimTime::from_secs(3));
         assert_eq!(w.len(), 2);
         assert_eq!(w[0].record.pkt.id, 2);
     }

@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn policing_recovers_as_tokens_refill() {
         let mut rl = RateLimiter::new(ShaperConfig::policing(80_000.0)); // 10 kB/s
-        // Exhaust the bucket.
+                                                                         // Exhaust the bucket.
         for i in 0..8 {
             assert!(rl.offer(pkt(i, 960), SimTime::ZERO).is_some());
         }
@@ -242,7 +242,7 @@ mod tests {
     #[test]
     fn shaping_queues_and_releases_at_rate() {
         let mut rl = RateLimiter::new(ShaperConfig::shaping(80_000.0)); // 10 kB/s
-        // Bucket passes the first 16 immediately, rest queue.
+                                                                        // Bucket passes the first 16 immediately, rest queue.
         let mut immediate = 0;
         for i in 0..20 {
             if rl.offer(pkt(i, 960), SimTime::ZERO).is_some() {

@@ -333,7 +333,9 @@ impl TcpSocket {
     }
 
     fn should_send_fin(&self) -> bool {
-        self.app_closed && self.fin_seq.is_none() && self.snd_nxt.saturating_sub(1) >= self.snd_queued
+        self.app_closed
+            && self.fin_seq.is_none()
+            && self.snd_nxt.saturating_sub(1) >= self.snd_queued
     }
 
     /// Emit all packets this socket can currently send.
@@ -350,7 +352,17 @@ impl TcpSocket {
                 if self.syn_sent_at.is_none() {
                     self.syn_sent_at = Some(now);
                     self.snd_nxt = 1;
-                    self.track_segment(0, 0, now, next_id, out, TcpFlags { syn: true, ..Default::default() });
+                    self.track_segment(
+                        0,
+                        0,
+                        now,
+                        next_id,
+                        out,
+                        TcpFlags {
+                            syn: true,
+                            ..Default::default()
+                        },
+                    );
                 }
             }
             TcpState::SynReceived => {
@@ -365,7 +377,11 @@ impl TcpSocket {
                             now,
                             next_id,
                             out,
-                            TcpFlags { syn: true, ack: true, ..Default::default() },
+                            TcpFlags {
+                                syn: true,
+                                ack: true,
+                                ..Default::default()
+                            },
                         );
                     }
                 }
@@ -376,15 +392,26 @@ impl TcpSocket {
                 while self.can_send_data() {
                     let offset = self.snd_nxt - 1;
                     let room = self.window_room();
-                    let len =
-                        (self.cfg.mss as u64).min(self.snd_queued - offset).min(room) as u32;
+                    let len = (self.cfg.mss as u64)
+                        .min(self.snd_queued - offset)
+                        .min(room) as u32;
                     if len == 0 {
                         break;
                     }
                     let seq = self.snd_nxt;
                     self.snd_nxt += len as u64;
                     self.stats.segments_sent += 1;
-                    self.track_segment(seq, len, now, next_id, out, TcpFlags { ack: true, ..Default::default() });
+                    self.track_segment(
+                        seq,
+                        len,
+                        now,
+                        next_id,
+                        out,
+                        TcpFlags {
+                            ack: true,
+                            ..Default::default()
+                        },
+                    );
                     sent_any = true;
                 }
                 // FIN once all data is out.
@@ -398,7 +425,11 @@ impl TcpSocket {
                         now,
                         next_id,
                         out,
-                        TcpFlags { fin: true, ack: true, ..Default::default() },
+                        TcpFlags {
+                            fin: true,
+                            ack: true,
+                            ..Default::default()
+                        },
                     );
                     sent_any = true;
                 }
@@ -408,7 +439,10 @@ impl TcpSocket {
                         self.snd_nxt,
                         0,
                         next_id,
-                        TcpFlags { ack: true, ..Default::default() },
+                        TcpFlags {
+                            ack: true,
+                            ..Default::default()
+                        },
                     );
                     out.push(pkt);
                 }
@@ -421,7 +455,10 @@ impl TcpSocket {
                         self.snd_nxt,
                         0,
                         next_id,
-                        TcpFlags { ack: true, ..Default::default() },
+                        TcpFlags {
+                            ack: true,
+                            ..Default::default()
+                        },
                     );
                     out.push(pkt);
                 }
@@ -438,8 +475,14 @@ impl TcpSocket {
         out: &mut Vec<IpPacket>,
         flags: TcpFlags,
     ) {
-        self.inflight
-            .insert(seq, Segment { len, sent_at: now, retransmitted: false });
+        self.inflight.insert(
+            seq,
+            Segment {
+                len,
+                sent_at: now,
+                retransmitted: false,
+            },
+        );
         if self.rto_deadline.is_none() {
             self.arm_rto(now);
         }
@@ -468,7 +511,11 @@ impl TcpSocket {
             src: self.local,
             dst: self.remote,
             proto: Proto::Tcp,
-            tcp: Some(TcpHeader { seq, ack: self.rcv_nxt, flags }),
+            tcp: Some(TcpHeader {
+                seq,
+                ack: self.rcv_nxt,
+                flags,
+            }),
             payload_len: len,
             udp_payload: None,
             markers,
@@ -476,14 +523,18 @@ impl TcpSocket {
     }
 
     fn arm_rto(&mut self, now: SimTime) {
-        let rto = (self.rto * 2f64.powi(self.backoff as i32))
-            .clamp(self.cfg.min_rto.as_secs_f64(), self.cfg.max_rto.as_secs_f64());
+        let rto = (self.rto * 2f64.powi(self.backoff as i32)).clamp(
+            self.cfg.min_rto.as_secs_f64(),
+            self.cfg.max_rto.as_secs_f64(),
+        );
         self.rto_deadline = Some(now + SimDuration::from_secs_f64(rto));
     }
 
     /// Handle RTO expiry if due. Returns true when a timeout fired.
     pub fn on_timer(&mut self, now: SimTime) -> bool {
-        let Some(deadline) = self.rto_deadline else { return false };
+        let Some(deadline) = self.rto_deadline else {
+            return false;
+        };
         if now < deadline {
             return false;
         }
@@ -516,7 +567,11 @@ impl TcpSocket {
     }
 
     /// Take the queued retransmission, if any, as a packet.
-    pub fn take_retransmit(&mut self, now: SimTime, next_id: &mut dyn FnMut() -> u64) -> Option<IpPacket> {
+    pub fn take_retransmit(
+        &mut self,
+        now: SimTime,
+        next_id: &mut dyn FnMut() -> u64,
+    ) -> Option<IpPacket> {
         let seq = self.pending_retransmit.take()?;
         let seg = *self.inflight.get(&seq)?;
         self.stats.retransmits += 1;
@@ -527,14 +582,28 @@ impl TcpSocket {
         self.inflight.insert(seq, refreshed);
         let flags = if seq == 0 {
             if self.initiator {
-                TcpFlags { syn: true, ..Default::default() }
+                TcpFlags {
+                    syn: true,
+                    ..Default::default()
+                }
             } else {
-                TcpFlags { syn: true, ack: true, ..Default::default() }
+                TcpFlags {
+                    syn: true,
+                    ack: true,
+                    ..Default::default()
+                }
             }
         } else if Some(seq) == self.fin_seq {
-            TcpFlags { fin: true, ack: true, ..Default::default() }
+            TcpFlags {
+                fin: true,
+                ack: true,
+                ..Default::default()
+            }
         } else {
-            TcpFlags { ack: true, ..Default::default() }
+            TcpFlags {
+                ack: true,
+                ..Default::default()
+            }
         };
         Some(self.make_packet(seq, seg.len, next_id, flags))
     }
@@ -676,7 +745,9 @@ impl TcpSocket {
             }
             // Coalesce in-order data.
             loop {
-                let Some((&seq, &len)) = self.out_of_order.iter().next() else { break };
+                let Some((&seq, &len)) = self.out_of_order.iter().next() else {
+                    break;
+                };
                 let end = seq + len as u64;
                 if seq > self.rcv_nxt {
                     break; // hole
@@ -835,11 +906,13 @@ mod tests {
         c.poll(SimTime::ZERO, &mut next_id, &mut out);
         assert_eq!(out.len(), 1);
         drop(out); // segment lost
-        // Fire the retransmission timer.
+                   // Fire the retransmission timer.
         let later = SimTime::from_secs(2);
         assert!(c.on_timer(later));
         assert_eq!(c.stats.timeouts, 1);
-        let retx = c.take_retransmit(later, &mut next_id).expect("retransmission");
+        let retx = c
+            .take_retransmit(later, &mut next_id)
+            .expect("retransmission");
         s.on_packet(&retx, later);
         assert_eq!(s.total_received(), 500);
         // Deliver the ack back.
@@ -956,8 +1029,14 @@ mod tests {
         drop(out); // lost
         let later = SimTime::from_secs(2);
         assert!(c.on_timer(later));
-        let retx = c.take_retransmit(later, &mut next_id).expect("retransmission");
-        assert_eq!(retx.markers, vec![(500, 99)], "retransmission re-carries the marker");
+        let retx = c
+            .take_retransmit(later, &mut next_id)
+            .expect("retransmission");
+        assert_eq!(
+            retx.markers,
+            vec![(500, 99)],
+            "retransmission re-carries the marker"
+        );
         s.on_packet(&retx, later);
         assert_eq!(s.take_markers(), vec![99]);
     }

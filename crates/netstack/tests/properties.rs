@@ -1,9 +1,7 @@
 //! Property-based tests for the network stack: TCP delivery under loss,
 //! marker semantics, and token-bucket conservation.
 
-use netstack::{
-    IpAddr, IpPacket, RateLimiter, ShaperConfig, SocketAddr, TcpConfig, TcpSocket,
-};
+use netstack::{IpAddr, IpPacket, RateLimiter, ShaperConfig, SocketAddr, TcpConfig, TcpSocket};
 use proptest::prelude::*;
 use simcore::{DetRng, SimDuration, SimTime};
 
@@ -13,11 +11,7 @@ fn addr(last: u8, port: u16) -> SocketAddr {
 
 /// Drive two sockets over a lossy wire with timer service until quiescent.
 /// `drop_one_in` drops every Nth packet (0 = lossless).
-fn pump_lossy(
-    a: &mut TcpSocket,
-    b: &mut TcpSocket,
-    drop_one_in: u64,
-) -> bool {
+fn pump_lossy(a: &mut TcpSocket, b: &mut TcpSocket, drop_one_in: u64) -> bool {
     let mut id = 0u64;
     let mut dropped = 0u64;
     let mut now = SimTime::ZERO;

@@ -161,7 +161,11 @@ impl CellBearer {
 
     /// Packets that have fully traversed the downlink, ready for the phone.
     pub fn recv_for_phone(&mut self, now: SimTime) -> Vec<IpPacket> {
-        self.dl.take_exits(now).into_iter().map(|(_, p)| p).collect()
+        self.dl
+            .take_exits(now)
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect()
     }
 
     /// Packets that have fully traversed the uplink, ready for the internet.
@@ -268,10 +272,7 @@ impl CellBearer {
         // Pending backlog that promotion will unblock is covered by the RRC
         // promotion wake time; backlog with an idle machine must trigger
         // on_data (handled in tick) — wake immediately if so.
-        if !can_tx
-            && !self.rrc.promoting()
-            && (self.ul.has_backlog() || self.dl.has_backlog())
-        {
+        if !can_tx && !self.rrc.promoting() && (self.ul.has_backlog() || self.dl.has_backlog()) {
             wake = earlier(wake, Some(SimTime::ZERO));
         }
         wake
@@ -316,7 +317,11 @@ mod tests {
             src: SocketAddr::new(IpAddr::new(10, 0, 0, 1), 40000),
             dst: SocketAddr::new(IpAddr::new(31, 13, 0, 2), 443),
             proto: Proto::Tcp,
-            tcp: Some(TcpHeader { seq: 1, ack: 0, flags: TcpFlags::default() }),
+            tcp: Some(TcpHeader {
+                seq: 1,
+                ack: 0,
+                flags: TcpFlags::default(),
+            }),
             payload_len: payload,
             udp_payload: None,
             markers: Vec::new(),
@@ -354,8 +359,7 @@ mod tests {
         assert!(at < SimTime::from_secs(4), "delivered at {at}");
         // The machine went through DCH and, by 30 s of inactivity, demoted
         // all the way back to PCH.
-        let states: Vec<RrcState> =
-            b.qxdm.log.rrc.iter().map(|(_, tr)| tr.to).collect();
+        let states: Vec<RrcState> = b.qxdm.log.rrc.iter().map(|(_, tr)| tr.to).collect();
         assert!(states.contains(&RrcState::Dch), "states {states:?}");
         assert_eq!(b.rrc_state(), RrcState::Pch);
     }
@@ -403,8 +407,7 @@ mod tests {
     fn throttled_bearer_slows_bulk_downlink() {
         let mut rng = DetRng::seed_from_u64(3);
         let mut free = CellBearer::new(BearerConfig::lte(), &mut rng);
-        let mut throttled =
-            CellBearer::new(BearerConfig::lte().with_throttle(256e3), &mut rng);
+        let mut throttled = CellBearer::new(BearerConfig::lte().with_throttle(256e3), &mut rng);
         let finish = |b: &mut CellBearer| -> (usize, SimTime) {
             for i in 0..100 {
                 b.send_downlink(pkt(i, 1400), SimTime::ZERO);
@@ -446,8 +449,7 @@ mod tests {
         let out = run(&mut b, SimTime::from_secs(30));
         assert_eq!(out.len(), 1);
         // The small buffer promoted to FACH only, never DCH.
-        let states: Vec<RrcState> =
-            b.qxdm.log.rrc.iter().map(|(_, tr)| tr.to).collect();
+        let states: Vec<RrcState> = b.qxdm.log.rrc.iter().map(|(_, tr)| tr.to).collect();
         assert!(states.contains(&RrcState::Fach), "states {states:?}");
         assert!(!states.contains(&RrcState::Dch), "states {states:?}");
     }

@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn breakdown_totals() {
-        let b = EnergyBreakdown { non_tail_j: 2.0, tail_j: 3.0 };
+        let b = EnergyBreakdown {
+            non_tail_j: 2.0,
+            tail_j: 3.0,
+        };
         assert!((b.total_j() - 5.0).abs() < 1e-12);
     }
 }

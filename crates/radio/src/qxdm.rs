@@ -33,7 +33,11 @@ impl Default for QxdmConfig {
     fn default() -> Self {
         // Loss rates chosen to land near the paper's Table 3 mapping ratios
         // (99.52% uplink, 88.83% downlink of IP packets mapped).
-        QxdmConfig { ul_record_loss: 0.0001, dl_record_loss: 0.12, log_pdus: true }
+        QxdmConfig {
+            ul_record_loss: 0.0001,
+            dl_record_loss: 0.12,
+            log_pdus: true,
+        }
     }
 }
 
@@ -91,7 +95,12 @@ pub struct Qxdm {
 impl Qxdm {
     /// New logger.
     pub fn new(cfg: QxdmConfig, rng: DetRng) -> Qxdm {
-        Qxdm { cfg, rng, log: QxdmLog::default(), truth: RecordLog::new() }
+        Qxdm {
+            cfg,
+            rng,
+            log: QxdmLog::default(),
+            truth: RecordLog::new(),
+        }
     }
 
     /// Observe a transmitted PDU. Events must be fed in time order.
@@ -123,9 +132,13 @@ impl Qxdm {
 
     /// Observe a STATUS PDU arrival.
     pub fn observe_status(&mut self, at: SimTime, ev: &StatusEvent) {
-        self.log
-            .statuses
-            .push(at, StatusRecord { data_dir: ev.data_dir, acks_sn: ev.acks_sn });
+        self.log.statuses.push(
+            at,
+            StatusRecord {
+                data_dir: ev.data_dir,
+                acks_sn: ev.acks_sn,
+            },
+        );
     }
 
     /// Observe an RRC state transition.
@@ -136,7 +149,10 @@ impl Qxdm {
     /// Take ownership of the accumulated logs (end of an experiment):
     /// `(diagnostic log, ground-truth PDU log)`.
     pub fn take_logs(&mut self) -> (QxdmLog, simcore::RecordLog<PduEvent>) {
-        (core::mem::take(&mut self.log), core::mem::take(&mut self.truth))
+        (
+            core::mem::take(&mut self.log),
+            core::mem::take(&mut self.truth),
+        )
     }
 }
 
@@ -161,7 +177,14 @@ mod tests {
 
     #[test]
     fn records_are_truncated_to_two_bytes() {
-        let mut q = Qxdm::new(QxdmConfig { ul_record_loss: 0.0, dl_record_loss: 0.0, log_pdus: true }, DetRng::seed_from_u64(1));
+        let mut q = Qxdm::new(
+            QxdmConfig {
+                ul_record_loss: 0.0,
+                dl_record_loss: 0.0,
+                log_pdus: true,
+            },
+            DetRng::seed_from_u64(1),
+        );
         q.observe_pdu(SimTime::ZERO, &ev(Direction::Uplink, 0));
         let rec = q.log.pdus.entries()[0].record;
         assert_eq!(rec.first2, [0x45, 6]);
@@ -179,8 +202,18 @@ mod tests {
             q.observe_pdu(t, &ev(Direction::Uplink, sn));
             q.observe_pdu(t, &ev(Direction::Downlink, sn));
         }
-        let ul = q.log.pdus.iter().filter(|(_, r)| r.dir == Direction::Uplink).count();
-        let dl = q.log.pdus.iter().filter(|(_, r)| r.dir == Direction::Downlink).count();
+        let ul = q
+            .log
+            .pdus
+            .iter()
+            .filter(|(_, r)| r.dir == Direction::Uplink)
+            .count();
+        let dl = q
+            .log
+            .pdus
+            .iter()
+            .filter(|(_, r)| r.dir == Direction::Downlink)
+            .count();
         assert!(ul > dl, "ul {ul} dl {dl}");
         // Loss rates in the right ballpark.
         let ul_loss = 1.0 - ul as f64 / n as f64;
@@ -194,10 +227,19 @@ mod tests {
     #[test]
     fn rrc_and_status_are_recorded() {
         let mut q = Qxdm::new(QxdmConfig::default(), DetRng::seed_from_u64(1));
-        q.observe_rrc(SimTime::ZERO, RrcTransition { from: RrcState::Pch, to: RrcState::Dch });
+        q.observe_rrc(
+            SimTime::ZERO,
+            RrcTransition {
+                from: RrcState::Pch,
+                to: RrcState::Dch,
+            },
+        );
         q.observe_status(
             SimTime::from_millis(5),
-            &StatusEvent { data_dir: Direction::Uplink, acks_sn: 17 },
+            &StatusEvent {
+                data_dir: Direction::Uplink,
+                acks_sn: 17,
+            },
         );
         assert_eq!(q.log.rrc.len(), 1);
         assert_eq!(q.log.statuses.entries()[0].record.acks_sn, 17);

@@ -90,7 +90,10 @@ impl RlcConfig {
 
     /// LTE downlink: flexible PDUs up to a full transport block.
     pub fn lte_downlink() -> RlcConfig {
-        RlcConfig { max_payload: 1440, ..Self::lte() }
+        RlcConfig {
+            max_payload: 1440,
+            ..Self::lte()
+        }
     }
 }
 
@@ -211,7 +214,10 @@ impl RlcChannel {
 
     /// Bytes waiting to be segmented (drives RRC promotion decisions).
     pub fn queued_bytes(&self) -> u64 {
-        self.queue.iter().map(|q| (q.wire.len() - q.cursor) as u64).sum()
+        self.queue
+            .iter()
+            .map(|q| (q.wire.len() - q.cursor) as u64)
+            .sum()
     }
 
     /// True when data or retransmissions are waiting for air time.
@@ -259,7 +265,9 @@ impl RlcChannel {
             .position(|q| !q.fully_segmented)
             .expect("build_pdu called with backlog");
         while filled < target && covers_len < 2 {
-            let Some(q) = self.queue.get_mut(idx) else { break };
+            let Some(q) = self.queue.get_mut(idx) else {
+                break;
+            };
             if q.fully_segmented {
                 idx += 1;
                 continue;
@@ -294,22 +302,28 @@ impl RlcChannel {
         // is still meaningful (boundary at payload end).
         let sn = self.next_sn;
         self.next_sn += 1;
-        RetxPdu { sn, payload_len: filled as u16, first2, li, covers, covers_len }
+        RetxPdu {
+            sn,
+            payload_len: filled as u16,
+            first2,
+            li,
+            covers,
+            covers_len,
+        }
     }
 
     fn transmit(&mut self, now: SimTime, rate_bps: f64, pdu: RetxPdu, is_retx: bool) {
         let start = self.busy_until.max(now);
         // Fixed-payload channels burn air time for padding too.
         let air_bytes = self.cfg.fixed_payload.unwrap_or(pdu.payload_len.max(1)) as f64 + 2.0;
-        let dur = SimDuration::from_secs_f64(air_bytes * 8.0 / rate_bps)
-            + self.cfg.per_pdu_overhead;
+        let dur =
+            SimDuration::from_secs_f64(air_bytes * 8.0 / rate_bps) + self.cfg.per_pdu_overhead;
         let done = start + dur;
         self.busy_until = done;
         self.pdus_transmitted += 1;
 
         self.pdus_since_poll += 1;
-        let end_of_burst =
-            !self.queue.iter().any(|q| !q.fully_segmented) && self.retx.is_empty();
+        let end_of_burst = !self.queue.iter().any(|q| !q.fully_segmented) && self.retx.is_empty();
         let poll = self.pdus_since_poll >= self.cfg.poll_interval || end_of_burst;
         if poll {
             self.pdus_since_poll = 0;
@@ -332,8 +346,13 @@ impl RlcChannel {
         );
         if poll {
             let rtt = self.rng.jittered(self.cfg.ota_rtt, self.cfg.ota_jitter);
-            self.status_events
-                .push(done + rtt, StatusEvent { data_dir: self.dir, acks_sn: pdu.sn });
+            self.status_events.push(
+                done + rtt,
+                StatusEvent {
+                    data_dir: self.dir,
+                    acks_sn: pdu.sn,
+                },
+            );
         }
         if lost {
             // Retransmit after STATUS feedback (one OTA RTT after the poll
@@ -419,7 +438,11 @@ mod tests {
             src: SocketAddr::new(IpAddr::new(10, 0, 0, 1), 40000),
             dst: SocketAddr::new(IpAddr::new(31, 13, 0, 2), 443),
             proto: Proto::Tcp,
-            tcp: Some(TcpHeader { seq: 1, ack: 0, flags: TcpFlags::default() }),
+            tcp: Some(TcpHeader {
+                seq: 1,
+                ack: 0,
+                flags: TcpFlags::default(),
+            }),
             payload_len: payload,
             udp_payload: None,
             markers: Vec::new(),
@@ -533,8 +556,11 @@ mod tests {
             Direction::Uplink,
             DetRng::seed_from_u64(1),
         );
-        let mut chlte =
-            RlcChannel::new(loss_free(RlcConfig::lte()), Direction::Uplink, DetRng::seed_from_u64(1));
+        let mut chlte = RlcChannel::new(
+            loss_free(RlcConfig::lte()),
+            Direction::Uplink,
+            DetRng::seed_from_u64(1),
+        );
         for i in 0..50 {
             ch3g.enqueue(pkt(i, 1400), SimTime::ZERO);
             chlte.enqueue(pkt(i + 100, 1400), SimTime::ZERO);
@@ -555,7 +581,10 @@ mod tests {
         }
         let (exits, pdus) = drain_all(&mut ch, 1e6);
         assert_eq!(exits.len(), 10);
-        assert!(pdus.iter().any(|p| p.retransmission), "expected retransmissions");
+        assert!(
+            pdus.iter().any(|p| p.retransmission),
+            "expected retransmissions"
+        );
         // Delivery remains in order.
         let ids: Vec<u64> = exits.iter().map(|(_, p)| p.id).collect();
         assert_eq!(ids, (0..10).collect::<Vec<_>>());
@@ -573,7 +602,11 @@ mod tests {
         let mut statuses = 0;
         for _ in 0..10_000 {
             ch.poll(now, true, 1e6);
-            polls += ch.take_pdu_events(now).iter().filter(|(_, e)| e.poll).count();
+            polls += ch
+                .take_pdu_events(now)
+                .iter()
+                .filter(|(_, e)| e.poll)
+                .count();
             statuses += ch.take_status_events(now).len();
             ch.take_exits(now);
             match ch.next_wake(true) {

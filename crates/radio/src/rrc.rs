@@ -101,7 +101,10 @@ impl Default for Rrc3gConfig {
 impl Rrc3gConfig {
     /// The simplified machine of §7.7: no FACH detour.
     pub fn simplified() -> Self {
-        Rrc3gConfig { fach_enabled: false, ..Default::default() }
+        Rrc3gConfig {
+            fach_enabled: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -242,7 +245,13 @@ impl RrcMachine {
 
     fn set_state(&mut self, to: RrcState, now: SimTime) {
         if self.state != to {
-            self.transitions.push((now, RrcTransition { from: self.state, to }));
+            self.transitions.push((
+                now,
+                RrcTransition {
+                    from: self.state,
+                    to,
+                },
+            ));
             self.state = to;
         }
     }
@@ -259,7 +268,9 @@ impl RrcMachine {
         // Demotions (may cascade through several states if `tick` is called
         // after a long idle gap).
         loop {
-            let Some((to, at)) = self.pending_demotion() else { break };
+            let Some((to, at)) = self.pending_demotion() else {
+                break;
+            };
             if now < at {
                 break;
             }
@@ -276,21 +287,28 @@ impl RrcMachine {
         }
         match (&self.cfg, self.state) {
             (RrcConfig::Umts3g(cfg), RrcState::Dch) => {
-                let to = if cfg.fach_enabled { RrcState::Fach } else { RrcState::Pch };
+                let to = if cfg.fach_enabled {
+                    RrcState::Fach
+                } else {
+                    RrcState::Pch
+                };
                 Some((to, self.last_activity + cfg.dch_inactivity))
             }
             (RrcConfig::Umts3g(cfg), RrcState::Fach) => {
                 Some((RrcState::Pch, self.last_activity + cfg.fach_inactivity))
             }
-            (RrcConfig::Lte(cfg), RrcState::LteContinuous) => {
-                Some((RrcState::LteShortDrx, self.last_activity + cfg.continuous_inactivity))
-            }
-            (RrcConfig::Lte(cfg), RrcState::LteShortDrx) => {
-                Some((RrcState::LteLongDrx, self.last_activity + cfg.short_drx_inactivity))
-            }
-            (RrcConfig::Lte(cfg), RrcState::LteLongDrx) => {
-                Some((RrcState::LteIdle, self.last_activity + cfg.long_drx_inactivity))
-            }
+            (RrcConfig::Lte(cfg), RrcState::LteContinuous) => Some((
+                RrcState::LteShortDrx,
+                self.last_activity + cfg.continuous_inactivity,
+            )),
+            (RrcConfig::Lte(cfg), RrcState::LteShortDrx) => Some((
+                RrcState::LteLongDrx,
+                self.last_activity + cfg.short_drx_inactivity,
+            )),
+            (RrcConfig::Lte(cfg), RrcState::LteLongDrx) => Some((
+                RrcState::LteIdle,
+                self.last_activity + cfg.long_drx_inactivity,
+            )),
             _ => None,
         }
     }
@@ -376,8 +394,10 @@ mod tests {
         m.tick(t(60_000));
         assert_eq!(m.state(), RrcState::Pch);
         let trans = m.take_transitions();
-        let seq: Vec<(u64, RrcState)> =
-            trans.iter().map(|(at, tr)| (at.as_millis(), tr.to)).collect();
+        let seq: Vec<(u64, RrcState)> = trans
+            .iter()
+            .map(|(at, tr)| (at.as_millis(), tr.to))
+            .collect();
         assert_eq!(
             seq,
             vec![

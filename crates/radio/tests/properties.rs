@@ -16,17 +16,18 @@ fn pkt(id: u64, payload: u32) -> IpPacket {
         src: SocketAddr::new(IpAddr::new(10, 0, 0, 1), 40000),
         dst: SocketAddr::new(IpAddr::new(31, 13, 0, 2), 443),
         proto: Proto::Tcp,
-        tcp: Some(TcpHeader { seq: 1 + id, ack: 0, flags: TcpFlags::default() }),
+        tcp: Some(TcpHeader {
+            seq: 1 + id,
+            ack: 0,
+            flags: TcpFlags::default(),
+        }),
         payload_len: payload,
         udp_payload: None,
         markers: Vec::new(),
     }
 }
 
-fn drain(
-    ch: &mut RlcChannel,
-    rate: f64,
-) -> (Vec<IpPacket>, Vec<radio::rlc::PduEvent>) {
+fn drain(ch: &mut RlcChannel, rate: f64) -> (Vec<IpPacket>, Vec<radio::rlc::PduEvent>) {
     let mut exits = Vec::new();
     let mut pdus = Vec::new();
     let mut now = SimTime::ZERO;

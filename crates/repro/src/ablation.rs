@@ -58,11 +58,17 @@ pub fn mapper_ablation(reps: usize, seed: u64) -> Vec<MapperAblationRow> {
         ("full (gap credit + bridge)", MapperOptions::default()),
         (
             "no gap credit",
-            MapperOptions { gap_credit: false, ..MapperOptions::default() },
+            MapperOptions {
+                gap_credit: false,
+                ..MapperOptions::default()
+            },
         ),
         (
             "no bridge rescue",
-            MapperOptions { bridge_rescue: false, ..MapperOptions::default() },
+            MapperOptions {
+                bridge_rescue: false,
+                ..MapperOptions::default()
+            },
         ),
         (
             "neither",
@@ -173,6 +179,37 @@ impl fmt::Display for DisciplineRow {
     }
 }
 
+/// One ablation campaign job's output.
+#[derive(Debug, Clone)]
+pub enum AblationPart {
+    /// Long-jump mapper resync mechanisms on/off.
+    Mapper(Vec<MapperAblationRow>),
+    /// Raw vs §5.1-calibrated error.
+    Calibration(CalibrationRow),
+    /// Shaping vs policing at the same token rate.
+    Discipline(Vec<DisciplineRow>),
+}
+
+/// The three ablation studies as one campaign, in report order.
+pub fn campaign(
+    mapper_reps: usize,
+    cal_reps: usize,
+    rate_bps: f64,
+    seed: u64,
+) -> harness::Campaign<AblationPart> {
+    let mut c = harness::Campaign::new("ablation");
+    c.job("mapper", seed, move || {
+        AblationPart::Mapper(mapper_ablation(mapper_reps, seed))
+    });
+    c.job("calibration", seed, move || {
+        AblationPart::Calibration(calibration_ablation(cal_reps, seed))
+    });
+    c.job("discipline", seed, move || {
+        AblationPart::Discipline(discipline_ablation(rate_bps, seed))
+    });
+    c
+}
+
 /// Same token rate, same technology (LTE), shaping vs policing: isolates
 /// the discipline's throughput signature (Finding 7) from the 3G/LTE
 /// differences. Shaping should show a smooth plateau near the token rate
@@ -195,9 +232,8 @@ pub fn discipline_ablation(rate_bps: f64, seed: u64) -> Vec<DisciplineRow> {
         // Assemble via the scenario builder, then swap in the custom bearer.
         let mut world = youtube_world(vec![video], None, NetKind::Lte, seed, true);
         let mut rng = simcore::DetRng::seed_from_u64(seed ^ 0xD15C);
-        world.phone.net = device::NetAttachment::Cell(Box::new(
-            radio::bearer::CellBearer::new(bearer, &mut rng),
-        ));
+        world.phone.net =
+            device::NetAttachment::Cell(Box::new(radio::bearer::CellBearer::new(bearer, &mut rng)));
         let mut doctor = Controller::new(world);
         doctor.advance(SimDuration::from_secs(5));
         doctor.interact(&UiEvent::TypeText {

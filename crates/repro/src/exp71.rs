@@ -7,7 +7,7 @@
 //! controller's CPU overhead.
 
 use crate::exp72::{run_posts, PostKind};
-use crate::scenario::{facebook_world, youtube_world, browser_world, NetKind};
+use crate::scenario::{browser_world, facebook_world, youtube_world, NetKind};
 use device::apps::{BrowserConfig, FbVersion, VideoSpec};
 use device::{UiEvent, ViewSignature};
 use netstack::pcap::Direction;
@@ -55,7 +55,10 @@ fn summarize(metric: &'static str, samples: &[AccuracySample]) -> MetricAccuracy
             max_ratio_percent: 0.0,
         };
     }
-    let errors: Vec<f64> = samples.iter().map(|s| s.error.as_secs_f64() * 1e3).collect();
+    let errors: Vec<f64> = samples
+        .iter()
+        .map(|s| s.error.as_secs_f64() * 1e3)
+        .collect();
     let mean = errors.iter().sum::<f64>() / n as f64;
     let max = errors.iter().cloned().fold(0.0, f64::max);
     let min_truth = samples
@@ -69,7 +72,11 @@ fn summarize(metric: &'static str, samples: &[AccuracySample]) -> MetricAccuracy
         max_error_ms: max,
         // §7.1: "the average time difference t_d … the ratio of t_d to
         // t_screen … we use the shortest t_screen among all experiments".
-        max_ratio_percent: if min_truth > 0.0 { mean / (min_truth * 1e3) * 100.0 } else { 0.0 },
+        max_ratio_percent: if min_truth > 0.0 {
+            mean / (min_truth * 1e3) * 100.0
+        } else {
+            0.0
+        },
     }
 }
 
@@ -96,8 +103,13 @@ fn posts_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
         });
         let m = doctor.measure_after(
             "upload_post:status",
-            &UiEvent::Click { target: ViewSignature::by_id("post_button") },
-            &WaitCondition::TextAppears { container: "news_feed".into(), needle: text.clone() },
+            &UiEvent::Click {
+                target: ViewSignature::by_id("post_button"),
+            },
+            &WaitCondition::TextAppears {
+                container: "news_feed".into(),
+                needle: text.clone(),
+            },
             SimDuration::from_secs(60),
         );
         labelled.push((m.record, format!("news_feed:item:{text}")));
@@ -129,8 +141,12 @@ fn pull_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
     for _ in 0..reps {
         if let Some(m) = doctor.measure_span(
             "pull_to_update",
-            &WaitCondition::Shown { id: "feed_progress".into() },
-            &WaitCondition::Hidden { id: "feed_progress".into() },
+            &WaitCondition::Shown {
+                id: "feed_progress".into(),
+            },
+            &WaitCondition::Hidden {
+                id: "feed_progress".into(),
+            },
             SimDuration::from_secs(60),
         ) {
             records.push(m.record);
@@ -156,8 +172,13 @@ fn video_accuracy(reps: usize, seed: u64) -> (MetricAccuracy, MetricAccuracy) {
             bitrate_bps: 400e3,
         })
         .collect();
-    let world =
-        youtube_world(videos.clone(), None, NetKind::Umts3gThrottled(200e3), seed, true);
+    let world = youtube_world(
+        videos.clone(),
+        None,
+        NetKind::Umts3gThrottled(200e3),
+        seed,
+        true,
+    );
     let mut doctor = Controller::new(world);
     doctor.advance(SimDuration::from_secs(5));
     doctor.interact(&UiEvent::TypeText {
@@ -170,8 +191,12 @@ fn video_accuracy(reps: usize, seed: u64) -> (MetricAccuracy, MetricAccuracy) {
     for spec in &videos {
         let m = doctor.measure_after(
             "video:initial_loading",
-            &UiEvent::Click { target: ViewSignature::by_id(&format!("result_{}", spec.name)) },
-            &WaitCondition::Hidden { id: "player_progress".into() },
+            &UiEvent::Click {
+                target: ViewSignature::by_id(&format!("result_{}", spec.name)),
+            },
+            &WaitCondition::Hidden {
+                id: "player_progress".into(),
+            },
             SimDuration::from_secs(200),
         );
         if !m.record.timed_out {
@@ -190,13 +215,21 @@ fn video_accuracy(reps: usize, seed: u64) -> (MetricAccuracy, MetricAccuracy) {
         .iter()
         .filter(|(_, r)| r.action == "video:rebuffer" && !r.timed_out)
         .filter_map(|(_, r)| {
-            accuracy_span(r, &col.camera, "player_progress:show", "player_progress:hide")
+            accuracy_span(
+                r,
+                &col.camera,
+                "player_progress:show",
+                "player_progress:hide",
+            )
         })
         // Exclude stream-end micro-stalls: the paper's rebuffering events
         // under carrier throttling were all multi-second.
         .filter(|s| s.truth >= SimDuration::from_secs(1))
         .collect();
-    (summarize("YouTube initial loading", &loading), summarize("YouTube rebuffering", &rebuffer))
+    (
+        summarize("YouTube initial loading", &loading),
+        summarize("YouTube rebuffering", &rebuffer),
+    )
 }
 
 /// Page-load accuracy.
@@ -213,7 +246,9 @@ fn page_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
         let m = doctor.measure_after(
             "page_load",
             &UiEvent::KeyEnter,
-            &WaitCondition::Hidden { id: "page_progress".into() },
+            &WaitCondition::Hidden {
+                id: "page_progress".into(),
+            },
             SimDuration::from_secs(60),
         );
         if !m.record.timed_out {
@@ -270,8 +305,7 @@ pub fn overhead(reps: usize, seed: u64) -> ToolOverhead {
         score_mapping(&mapped, truth, dir)
     };
     let cpu = col.cpu;
-    let total =
-        cpu.app_busy.as_secs_f64() + cpu.controller_busy.as_secs_f64();
+    let total = cpu.app_busy.as_secs_f64() + cpu.controller_busy.as_secs_f64();
     ToolOverhead {
         ul_mapping: map_dir(Direction::Uplink),
         dl_mapping: map_dir(Direction::Downlink),
@@ -283,14 +317,48 @@ pub fn overhead(reps: usize, seed: u64) -> ToolOverhead {
     }
 }
 
+/// One §7.1 campaign job's output: Fig. 6 accuracy bars or the Table 3
+/// mapping/overhead row.
+#[derive(Debug, Clone)]
+pub enum Table3Part {
+    /// One or two Fig. 6 bars (the video job yields loading + rebuffering).
+    Bars(Vec<MetricAccuracy>),
+    /// The mapping-ratio and CPU-overhead row.
+    Overhead(ToolOverhead),
+}
+
+/// The §7.1 evaluation as a campaign: one job per metric scenario plus the
+/// overhead session, in Fig. 6 bar order.
+pub fn campaign(reps: usize, seed: u64) -> harness::Campaign<Table3Part> {
+    let mut c = harness::Campaign::new("table3_fig6");
+    c.job("accuracy/posts", seed, move || {
+        Table3Part::Bars(vec![posts_accuracy(reps, seed)])
+    });
+    c.job("accuracy/pull", seed ^ 1, move || {
+        Table3Part::Bars(vec![pull_accuracy(reps, seed ^ 1)])
+    });
+    c.job("accuracy/video", seed ^ 2, move || {
+        let (loading, rebuffer) = video_accuracy(reps.min(10), seed ^ 2);
+        Table3Part::Bars(vec![loading, rebuffer])
+    });
+    c.job("accuracy/page", seed ^ 3, move || {
+        Table3Part::Bars(vec![page_accuracy(reps, seed ^ 3)])
+    });
+    c.job("overhead", seed ^ 4, move || {
+        Table3Part::Overhead(overhead(reps.min(10), seed ^ 4))
+    });
+    c
+}
+
 /// Run the full §7.1 evaluation: Fig. 6's five bars plus Table 3.
 pub fn run(reps: usize, seed: u64) -> (Vec<MetricAccuracy>, ToolOverhead) {
     let mut bars = Vec::new();
-    bars.push(posts_accuracy(reps, seed));
-    bars.push(pull_accuracy(reps, seed ^ 1));
-    let (loading, rebuffer) = video_accuracy(reps.min(10), seed ^ 2);
-    bars.push(loading);
-    bars.push(rebuffer);
-    bars.push(page_accuracy(reps, seed ^ 3));
-    (bars, overhead(reps.min(10), seed ^ 4))
+    let mut overhead = None;
+    for part in campaign(reps, seed).run(1).into_outputs() {
+        match part {
+            Table3Part::Bars(b) => bars.extend(b),
+            Table3Part::Overhead(o) => overhead = Some(o),
+        }
+    }
+    (bars, overhead.expect("campaign includes the overhead job"))
 }

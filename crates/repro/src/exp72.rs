@@ -71,8 +71,13 @@ pub fn run_posts(kind: PostKind, net: NetKind, reps: usize, seed: u64) -> Collec
         });
         doctor.measure_after(
             kind.label(),
-            &UiEvent::Click { target: ViewSignature::by_id("post_button") },
-            &WaitCondition::TextAppears { container: "news_feed".into(), needle: text },
+            &UiEvent::Click {
+                target: ViewSignature::by_id("post_button"),
+            },
+            &WaitCondition::TextAppears {
+                container: "news_feed".into(),
+                needle: text,
+            },
             SimDuration::from_secs(120),
         );
         // The paper posts every 2 s, which keeps the radio in a high-power
@@ -128,7 +133,11 @@ pub fn breakdown_rows(col: &Collection, net: &str, action: &'static str) -> Post
         user: Summary::of(&user),
         network: Summary::of(&network),
         device: Summary::of(&device),
-        response_outside: if n == 0 { 0.0 } else { outside as f64 / n as f64 },
+        response_outside: if n == 0 {
+            0.0
+        } else {
+            outside as f64 / n as f64
+        },
     }
 }
 
@@ -240,20 +249,50 @@ pub fn photo_net_breakdown(col: &Collection, net: &str) -> Option<PhotoNetBreakd
     })
 }
 
-/// Run the whole §7.2 experiment and print Fig. 7 + Fig. 8 rows.
+/// One §7.2 campaign job's output: a Fig. 7 row plus, for photo posts,
+/// the Fig. 8 fine-grained network breakdown.
+#[derive(Debug, Clone)]
+pub struct PostRun {
+    /// Device/network split (one Fig. 7 bar).
+    pub fig7: PostBreakdownRow,
+    /// Fine-grained network latency (photo posts on cellular only).
+    pub fig8: Option<PhotoNetBreakdown>,
+}
+
+/// The §7.2 matrix as a campaign: one job per (network × post kind) cell.
+pub fn campaign(reps: usize, seed: u64) -> harness::Campaign<PostRun> {
+    let mut c = harness::Campaign::new("fig7_fig8");
+    for net in [NetKind::Umts3g, NetKind::Lte] {
+        for kind in [PostKind::Photos, PostKind::Checkin, PostKind::Status] {
+            let job_seed = seed ^ kind.label().len() as u64;
+            c.job(
+                format!("{}/{}", net.label(), kind.label()),
+                job_seed,
+                move || {
+                    let col = run_posts(kind, net, reps, job_seed);
+                    let fig8 = if kind == PostKind::Photos {
+                        photo_net_breakdown(&col, &net.label())
+                    } else {
+                        None
+                    };
+                    PostRun {
+                        fig7: breakdown_rows(&col, &net.label(), kind.label()),
+                        fig8,
+                    }
+                },
+            );
+        }
+    }
+    c
+}
+
+/// Run the whole §7.2 experiment: Fig. 7 rows + Fig. 8 rows.
 pub fn run(reps: usize, seed: u64) -> (Vec<PostBreakdownRow>, Vec<PhotoNetBreakdown>) {
     let mut fig7 = Vec::new();
     let mut fig8 = Vec::new();
-    for net in [NetKind::Umts3g, NetKind::Lte] {
-        for kind in [PostKind::Photos, PostKind::Checkin, PostKind::Status] {
-            let col = run_posts(kind, net, reps, seed ^ kind.label().len() as u64);
-            fig7.push(breakdown_rows(&col, &net.label(), kind.label()));
-            if kind == PostKind::Photos {
-                if let Some(nb) = photo_net_breakdown(&col, &net.label()) {
-                    fig8.push(nb);
-                }
-            }
-        }
+    for run in campaign(reps, seed).run(1).into_outputs() {
+        fig7.push(run.fig7);
+        fig8.extend(run.fig8);
     }
     (fig7, fig8)
 }

@@ -17,7 +17,8 @@ use radio::rrc::RrcState;
 use simcore::{SimDuration, SimTime};
 use std::fmt;
 
-/// Duration of each background run (the paper's 16 h).
+/// Duration of each background run at full scale (the paper's 16 h).
+/// `--quick` runs pass a shorter duration through [`run_config`].
 pub const RUN_HOURS: u64 = 16;
 
 /// One bar of Figs. 10–13.
@@ -63,11 +64,13 @@ impl fmt::Display for BackgroundRow {
     }
 }
 
-/// Run one 16-hour background configuration and compute its row.
+/// Run one background configuration for `hours` simulated hours (the
+/// paper's experiment uses [`RUN_HOURS`]) and compute its row.
 pub fn run_config(
     label: &str,
     push_interval: Option<SimDuration>,
     refresh_interval: Option<SimDuration>,
+    hours: u64,
     seed: u64,
 ) -> BackgroundRow {
     // Backgrounded app: pushes are received but do not drive the visible UI
@@ -83,7 +86,7 @@ pub fn run_config(
         true, // per-PDU QxDM logging off; RRC transitions still recorded
     );
     let mut doctor = Controller::new(world);
-    doctor.advance(SimDuration::from_hours(RUN_HOURS));
+    doctor.advance(SimDuration::from_hours(hours));
     let col = doctor.collect();
 
     // Mobile data: all traffic to Facebook domains.
@@ -107,31 +110,53 @@ pub fn run_config(
 }
 
 /// Figs. 10 and 11: sweep the friend's post-upload frequency with the
-/// default 1 h refresh interval.
-pub fn run_fig10_11(seed: u64) -> Vec<BackgroundRow> {
+/// default 1 h refresh interval. One campaign job per sweep point.
+pub fn campaign_fig10_11(hours: u64, seed: u64) -> harness::Campaign<BackgroundRow> {
     let hour = SimDuration::from_hours(1);
-    [
+    let mut c = harness::Campaign::new("fig10_11");
+    for (label, push) in [
         ("10 min", Some(SimDuration::from_mins(10))),
         ("30 min", Some(SimDuration::from_mins(30))),
         ("1 hr", Some(hour)),
         ("none", None),
-    ]
-    .into_iter()
-    .map(|(label, push)| run_config(label, push, Some(hour), seed))
-    .collect()
+    ] {
+        c.timed_job(
+            format!("push={label}"),
+            seed,
+            (hours * 3600) as f64,
+            move || run_config(label, push, Some(hour), hours, seed),
+        );
+    }
+    c
 }
 
 /// Figs. 12 and 13: sweep the refresh-interval setting with the friend
-/// posting every 30 minutes.
-pub fn run_fig12_13(seed: u64) -> Vec<BackgroundRow> {
+/// posting every 30 minutes. One campaign job per sweep point.
+pub fn campaign_fig12_13(hours: u64, seed: u64) -> harness::Campaign<BackgroundRow> {
     let push = Some(SimDuration::from_mins(30));
-    [
+    let mut c = harness::Campaign::new("fig12_13");
+    for (label, refresh) in [
         ("30 min", SimDuration::from_mins(30)),
         ("1 hr", SimDuration::from_hours(1)),
         ("2 hr", SimDuration::from_hours(2)),
         ("4 hr", SimDuration::from_hours(4)),
-    ]
-    .into_iter()
-    .map(|(label, refresh)| run_config(label, push, Some(refresh), seed))
-    .collect()
+    ] {
+        c.timed_job(
+            format!("refresh={label}"),
+            seed,
+            (hours * 3600) as f64,
+            move || run_config(label, push, Some(refresh), hours, seed),
+        );
+    }
+    c
+}
+
+/// Figs. 10 and 11 rows, computed serially.
+pub fn run_fig10_11(hours: u64, seed: u64) -> Vec<BackgroundRow> {
+    campaign_fig10_11(hours, seed).run(1).into_outputs()
+}
+
+/// Figs. 12 and 13 rows, computed serially.
+pub fn run_fig12_13(hours: u64, seed: u64) -> Vec<BackgroundRow> {
+    campaign_fig12_13(hours, seed).run(1).into_outputs()
 }

@@ -62,12 +62,7 @@ impl fmt::Display for UpdateRun {
 }
 
 /// Run one configuration: `updates` feed updates, posts every 2 minutes.
-pub fn run_config(
-    version: FbVersion,
-    net: NetKind,
-    updates: usize,
-    seed: u64,
-) -> UpdateRun {
+pub fn run_config(version: FbVersion, net: NetKind, updates: usize, seed: u64) -> UpdateRun {
     let auto = version == FbVersion::ListView50;
     let world = facebook_world(
         version,
@@ -87,8 +82,12 @@ pub fn run_config(
             // bar to appear on its own.
             doctor.measure_span(
                 "pull_to_update",
-                &WaitCondition::Shown { id: "feed_progress".into() },
-                &WaitCondition::Hidden { id: "feed_progress".into() },
+                &WaitCondition::Shown {
+                    id: "feed_progress".into(),
+                },
+                &WaitCondition::Hidden {
+                    id: "feed_progress".into(),
+                },
                 SimDuration::from_secs(180),
             );
         } else {
@@ -99,8 +98,12 @@ pub fn run_config(
             });
             doctor.measure_span(
                 "pull_to_update",
-                &WaitCondition::Shown { id: "feed_progress".into() },
-                &WaitCondition::Hidden { id: "feed_progress".into() },
+                &WaitCondition::Shown {
+                    id: "feed_progress".into(),
+                },
+                &WaitCondition::Hidden {
+                    id: "feed_progress".into(),
+                },
                 SimDuration::from_secs(60),
             );
         }
@@ -152,13 +155,24 @@ fn summarize(col: Collection, label: String) -> UpdateRun {
     }
 }
 
-/// Run the full §7.4 matrix.
-pub fn run(updates: usize, seed: u64) -> Vec<UpdateRun> {
-    let mut out = Vec::new();
+/// The §7.4 matrix as a campaign: one job per (network × app version).
+pub fn campaign(updates: usize, seed: u64) -> harness::Campaign<UpdateRun> {
+    let mut c = harness::Campaign::new("fig14_16");
     for net in [NetKind::Lte, NetKind::Wifi] {
         for version in [FbVersion::ListView50, FbVersion::WebView18] {
-            out.push(run_config(version, net, updates, seed));
+            let short = match version {
+                FbVersion::WebView18 => "WV",
+                FbVersion::ListView50 => "LV",
+            };
+            c.job(format!("{short}/{}", net.label()), seed, move || {
+                run_config(version, net, updates, seed)
+            });
         }
     }
-    out
+    c
+}
+
+/// Run the full §7.4 matrix.
+pub fn run(updates: usize, seed: u64) -> Vec<UpdateRun> {
+    campaign(updates, seed).run(1).into_outputs()
 }

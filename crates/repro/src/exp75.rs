@@ -43,12 +43,24 @@ pub struct WatchRun {
 impl WatchRun {
     /// CDF of initial loading times.
     pub fn loading_cdf(&self) -> Cdf {
-        Cdf::of(&self.videos.iter().map(|v| v.initial_loading).collect::<Vec<_>>())
+        Cdf::of(
+            &self
+                .videos
+                .iter()
+                .map(|v| v.initial_loading)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// CDF of rebuffering ratios.
     pub fn rebuffer_cdf(&self) -> Cdf {
-        Cdf::of(&self.videos.iter().map(|v| v.rebuffering).collect::<Vec<_>>())
+        Cdf::of(
+            &self
+                .videos
+                .iter()
+                .map(|v| v.rebuffering)
+                .collect::<Vec<_>>(),
+        )
     }
 }
 
@@ -77,8 +89,10 @@ pub fn run_watch(net: NetKind, count: usize, seed: u64) -> WatchRun {
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     let mut rng = DetRng::seed_from_u64(777);
     rng.shuffle(&mut order);
-    let picks: Vec<VideoSpec> =
-        order[..count.min(order.len())].iter().map(|i| dataset[*i].clone()).collect();
+    let picks: Vec<VideoSpec> = order[..count.min(order.len())]
+        .iter()
+        .map(|i| dataset[*i].clone())
+        .collect();
 
     let world = youtube_world(dataset, None, net, seed ^ 0xBEE, true);
     let mut doctor = Controller::new(world);
@@ -95,8 +109,12 @@ pub fn run_watch(net: NetKind, count: usize, seed: u64) -> WatchRun {
     for spec in &picks {
         let m = doctor.measure_after(
             "video:initial_loading",
-            &UiEvent::Click { target: ViewSignature::by_id(&format!("result_{}", spec.name)) },
-            &WaitCondition::Hidden { id: "player_progress".into() },
+            &UiEvent::Click {
+                target: ViewSignature::by_id(&format!("result_{}", spec.name)),
+            },
+            &WaitCondition::Hidden {
+                id: "player_progress".into(),
+            },
             SimDuration::from_secs(240),
         );
         if m.record.timed_out {
@@ -122,20 +140,29 @@ pub fn run_watch(net: NetKind, count: usize, seed: u64) -> WatchRun {
         });
         doctor.advance(SimDuration::from_secs(3));
     }
-    WatchRun { label: net.label(), videos }
+    WatchRun {
+        label: net.label(),
+        videos,
+    }
 }
 
-/// Fig. 17: throttled vs unthrottled on both technologies.
-pub fn run_fig17(count: usize, seed: u64) -> Vec<WatchRun> {
-    [
+/// Fig. 17 as a campaign: one job per bearer configuration.
+pub fn campaign_fig17(count: usize, seed: u64) -> harness::Campaign<WatchRun> {
+    let mut c = harness::Campaign::new("fig17");
+    for net in [
         NetKind::Umts3g,
         NetKind::Lte,
         NetKind::Umts3gThrottled(CAP_RATE),
         NetKind::LteThrottled(CAP_RATE),
-    ]
-    .into_iter()
-    .map(|net| run_watch(net, count, seed))
-    .collect()
+    ] {
+        c.job(net.label(), seed, move || run_watch(net, count, seed));
+    }
+    c
+}
+
+/// Fig. 17: throttled vs unthrottled on both technologies.
+pub fn run_fig17(count: usize, seed: u64) -> Vec<WatchRun> {
+    campaign_fig17(count, seed).run(1).into_outputs()
 }
 
 /// One Fig. 18 trace: per-second downlink throughput plus TCP health.
@@ -166,41 +193,54 @@ impl fmt::Display for ThroughputTrace {
     }
 }
 
-/// Fig. 18: stream one long video through each throttle discipline and
+/// Fig. 18: stream one long video through one throttle discipline and
 /// record the downlink throughput profile.
-pub fn run_fig18(seed: u64) -> Vec<ThroughputTrace> {
+fn trace_one(net: NetKind, seed: u64) -> ThroughputTrace {
     let spec = VideoSpec {
         name: "trace".into(),
         duration: SimDuration::from_secs(280),
         bitrate_bps: 420e3,
     };
-    let mut out = Vec::new();
-    for net in [NetKind::Umts3gThrottled(CAP_RATE), NetKind::LteThrottled(CAP_RATE)] {
-        let world = youtube_world(vec![spec.clone()], None, net, seed, true);
-        let mut doctor = Controller::new(world);
-        doctor.advance(SimDuration::from_secs(5));
-        doctor.interact(&UiEvent::TypeText {
-            target: ViewSignature::by_id("search_box"),
-            text: String::new(),
-        });
-        doctor.interact(&UiEvent::KeyEnter);
-        doctor.advance(SimDuration::from_secs(5));
-        doctor.interact(&UiEvent::Click {
-            target: ViewSignature::by_id("result_trace"),
-        });
-        doctor.advance(SimDuration::from_secs(300));
-        let col = doctor.collect();
-        let series = downlink_throughput(&col.trace, 1.0);
-        let report = TransportReport::analyze(&col.trace);
-        out.push(ThroughputTrace {
-            label: net.label(),
-            series: series.bins.clone(),
-            mean_bps: series.mean(),
-            std_bps: series.std_dev(),
-            retransmissions: report.total_retx(),
-        });
+    let world = youtube_world(vec![spec], None, net, seed, true);
+    let mut doctor = Controller::new(world);
+    doctor.advance(SimDuration::from_secs(5));
+    doctor.interact(&UiEvent::TypeText {
+        target: ViewSignature::by_id("search_box"),
+        text: String::new(),
+    });
+    doctor.interact(&UiEvent::KeyEnter);
+    doctor.advance(SimDuration::from_secs(5));
+    doctor.interact(&UiEvent::Click {
+        target: ViewSignature::by_id("result_trace"),
+    });
+    doctor.advance(SimDuration::from_secs(300));
+    let col = doctor.collect();
+    let series = downlink_throughput(&col.trace, 1.0);
+    let report = TransportReport::analyze(&col.trace);
+    ThroughputTrace {
+        label: net.label(),
+        series: series.bins.clone(),
+        mean_bps: series.mean(),
+        std_bps: series.std_dev(),
+        retransmissions: report.total_retx(),
     }
-    out
+}
+
+/// Fig. 18 as a campaign: one job per throttle discipline.
+pub fn campaign_fig18(seed: u64) -> harness::Campaign<ThroughputTrace> {
+    let mut c = harness::Campaign::new("fig18");
+    for net in [
+        NetKind::Umts3gThrottled(CAP_RATE),
+        NetKind::LteThrottled(CAP_RATE),
+    ] {
+        c.timed_job(net.label(), seed, 315.0, move || trace_one(net, seed));
+    }
+    c
+}
+
+/// Fig. 18: the throughput signature of shaping vs policing.
+pub fn run_fig18(seed: u64) -> Vec<ThroughputTrace> {
+    campaign_fig18(seed).run(1).into_outputs()
 }
 
 /// One Figs. 19/20 sweep point.
@@ -229,23 +269,31 @@ impl fmt::Display for SweepPoint {
     }
 }
 
-/// Figs. 19/20: sweep the throttled bandwidth on both technologies.
-pub fn run_sweep(videos_per_point: usize, seed: u64) -> Vec<SweepPoint> {
-    let mut out = Vec::new();
+/// Figs. 19/20 as a campaign: one job per (rate × technology) sweep point.
+pub fn campaign_sweep(videos_per_point: usize, seed: u64) -> harness::Campaign<SweepPoint> {
+    let mut c = harness::Campaign::new("fig19_20");
     for rate in [100e3, 200e3, 300e3, 400e3, 500e3] {
         for (label, net) in [
             ("3G", NetKind::Umts3gThrottled(rate)),
             ("LTE", NetKind::LteThrottled(rate)),
         ] {
-            let run = run_watch(net, videos_per_point, seed ^ rate as u64);
-            let n = run.videos.len().max(1) as f64;
-            out.push(SweepPoint {
-                rate_bps: rate,
-                label: label.into(),
-                rebuffering: run.videos.iter().map(|v| v.rebuffering).sum::<f64>() / n,
-                initial_loading: run.videos.iter().map(|v| v.initial_loading).sum::<f64>() / n,
+            let job_seed = seed ^ rate as u64;
+            c.job(format!("{label}@{}kbps", rate / 1e3), job_seed, move || {
+                let run = run_watch(net, videos_per_point, job_seed);
+                let n = run.videos.len().max(1) as f64;
+                SweepPoint {
+                    rate_bps: rate,
+                    label: label.into(),
+                    rebuffering: run.videos.iter().map(|v| v.rebuffering).sum::<f64>() / n,
+                    initial_loading: run.videos.iter().map(|v| v.initial_loading).sum::<f64>() / n,
+                }
             });
         }
     }
-    out
+    c
+}
+
+/// Figs. 19/20: sweep the throttled bandwidth on both technologies.
+pub fn run_sweep(videos_per_point: usize, seed: u64) -> Vec<SweepPoint> {
+    campaign_sweep(videos_per_point, seed).run(1).into_outputs()
 }

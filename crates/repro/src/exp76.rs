@@ -48,7 +48,11 @@ impl fmt::Display for AdRun {
 }
 
 fn pre_roll() -> VideoSpec {
-    VideoSpec { name: "ad".into(), duration: SimDuration::from_secs(20), bitrate_bps: 400e3 }
+    VideoSpec {
+        name: "ad".into(),
+        duration: SimDuration::from_secs(20),
+        bitrate_bps: 400e3,
+    }
 }
 
 /// Watch `reps` videos with/without a pre-roll ad on `net`; when `skip` is
@@ -85,7 +89,9 @@ pub fn run_config(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u6
             let ad_m = doctor.measure_after(
                 "ad:initial_loading",
                 &click,
-                &WaitCondition::Hidden { id: "player_progress".into() },
+                &WaitCondition::Hidden {
+                    id: "player_progress".into(),
+                },
                 SimDuration::from_secs(120),
             );
             if skip {
@@ -101,8 +107,12 @@ pub fn run_config(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u6
             // missed (sub-parse-interval) window counts as zero.
             let main_m = doctor.measure_span(
                 "video:initial_loading",
-                &WaitCondition::Shown { id: "player_progress".into() },
-                &WaitCondition::Hidden { id: "player_progress".into() },
+                &WaitCondition::Shown {
+                    id: "player_progress".into(),
+                },
+                &WaitCondition::Hidden {
+                    id: "player_progress".into(),
+                },
                 pre_roll().duration + SimDuration::from_secs(90),
             );
             let ad_load = ad_m.record.calibrated().as_secs_f64();
@@ -117,7 +127,9 @@ pub fn run_config(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u6
             let m = doctor.measure_after(
                 "video:initial_loading",
                 &click,
-                &WaitCondition::Hidden { id: "player_progress".into() },
+                &WaitCondition::Hidden {
+                    id: "player_progress".into(),
+                },
                 SimDuration::from_secs(120),
             );
             let load = m.record.calibrated().as_secs_f64();
@@ -143,13 +155,24 @@ pub fn run_config(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u6
     }
 }
 
+/// The §7.6 matrix as a campaign: one job per (network × ad mode).
+pub fn campaign(reps: usize, seed: u64) -> harness::Campaign<AdRun> {
+    let mut c = harness::Campaign::new("exp76");
+    for net in [NetKind::Wifi, NetKind::Lte, NetKind::Umts3g] {
+        for (mode, with_ad, skip) in [
+            ("no-ad", false, false),
+            ("ad-skipped", true, true),
+            ("ad-watched", true, false),
+        ] {
+            c.job(format!("{}/{mode}", net.label()), seed, move || {
+                run_config(net, with_ad, skip, reps, seed)
+            });
+        }
+    }
+    c
+}
+
 /// Run the §7.6 matrix: WiFi / LTE / 3G × {no ad, skipped ad, watched ad}.
 pub fn run(reps: usize, seed: u64) -> Vec<AdRun> {
-    let mut out = Vec::new();
-    for net in [NetKind::Wifi, NetKind::Lte, NetKind::Umts3g] {
-        out.push(run_config(net, false, false, reps, seed));
-        out.push(run_config(net, true, true, reps, seed));
-        out.push(run_config(net, true, false, reps, seed));
-    }
-    out
+    campaign(reps, seed).run(1).into_outputs()
 }

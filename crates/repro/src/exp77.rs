@@ -44,12 +44,7 @@ impl fmt::Display for PageLoadRun {
 }
 
 /// Load the test page `reps` times from an idle radio.
-pub fn run_config(
-    browser: BrowserConfig,
-    net: NetKind,
-    reps: usize,
-    seed: u64,
-) -> PageLoadRun {
+pub fn run_config(browser: BrowserConfig, net: NetKind, reps: usize, seed: u64) -> PageLoadRun {
     let name = browser.name;
     let world = browser_world(browser, net, seed);
     let mut doctor = Controller::new(world);
@@ -62,7 +57,9 @@ pub fn run_config(
         doctor.measure_after(
             "page_load",
             &UiEvent::KeyEnter,
-            &WaitCondition::Hidden { id: "page_progress".into() },
+            &WaitCondition::Hidden {
+                id: "page_progress".into(),
+            },
             SimDuration::from_secs(90),
         );
         // Idle long enough for full demotion back to PCH/IDLE
@@ -87,19 +84,36 @@ pub fn run_config(
         browser: name,
         net: net.label(),
         loads: Summary::of(&loads),
-        rrc_transitions_per_load: if n == 0 { 0.0 } else { transitions as f64 / n as f64 },
+        rrc_transitions_per_load: if n == 0 {
+            0.0
+        } else {
+            transitions as f64 / n as f64
+        },
     }
+}
+
+/// The §7.7 matrix as a campaign: one job per (browser × state machine).
+pub fn campaign(reps: usize, seed: u64) -> harness::Campaign<PageLoadRun> {
+    let mut c = harness::Campaign::new("exp77");
+    for make in [
+        BrowserConfig::chrome,
+        BrowserConfig::firefox,
+        BrowserConfig::stock,
+    ] {
+        for net in [NetKind::Umts3g, NetKind::Umts3gSimplified, NetKind::Lte] {
+            c.job(
+                format!("{}/{}", make().name, net.label()),
+                seed,
+                move || run_config(make(), net, reps, seed),
+            );
+        }
+    }
+    c
 }
 
 /// Run the §7.7 matrix: three browsers × default 3G / simplified 3G / LTE.
 pub fn run(reps: usize, seed: u64) -> Vec<PageLoadRun> {
-    let mut out = Vec::new();
-    for make in [BrowserConfig::chrome, BrowserConfig::firefox, BrowserConfig::stock] {
-        for net in [NetKind::Umts3g, NetKind::Umts3gSimplified, NetKind::Lte] {
-            out.push(run_config(make(), net, reps, seed));
-        }
-    }
-    out
+    campaign(reps, seed).run(1).into_outputs()
 }
 
 /// The headline number: mean reduction of page load time from simplifying

@@ -13,6 +13,7 @@ pub mod exp74;
 pub mod exp75;
 pub mod exp76;
 pub mod exp77;
+pub mod records;
 pub mod render;
 pub mod scenario;
 pub mod tables;

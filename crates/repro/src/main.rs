@@ -1,21 +1,31 @@
 //! `repro` — regenerate every table and figure of the QoE Doctor paper.
 //!
 //! ```text
-//! repro <experiment> [--quick]
+//! repro [experiment] [--quick] [--jobs N] [--json DIR]
 //!
 //! experiments:
 //!   table1 table2 table3 fig6 fig7 fig8 fig10 fig11 fig12 fig13
 //!   fig14 fig15 fig16 fig17 fig18 fig19 fig20 exp76 exp77 ablation all
 //! ```
 //!
-//! `--quick` runs reduced repetition counts (used by CI and the bench
-//! harness); the default counts match EXPERIMENTS.md.
+//! Every experiment runs as a `harness` campaign: a grid of independent
+//! seeded simulation worlds executed on `--jobs` worker threads. Results
+//! are collected in job order, so the printed rows are byte-identical for
+//! `--jobs 1` and `--jobs N`. `--quick` runs reduced repetition counts
+//! (used by CI and the bench harness); the default counts match
+//! EXPERIMENTS.md. `--json DIR` additionally writes one machine-readable
+//! campaign report (run journal + merged aggregates) per campaign.
 
 use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use harness::{Campaign, Outcome, Record};
 
 struct Scale {
     accuracy_reps: usize,
     post_reps: usize,
+    bg_hours: u64,
     updates: usize,
     videos: usize,
     sweep_videos: usize,
@@ -26,6 +36,7 @@ struct Scale {
 const FULL: Scale = Scale {
     accuracy_reps: 30,
     post_reps: 15,
+    bg_hours: repro::exp73::RUN_HOURS,
     updates: 30,
     videos: 24,
     sweep_videos: 6,
@@ -36,6 +47,7 @@ const FULL: Scale = Scale {
 const QUICK: Scale = Scale {
     accuracy_reps: 6,
     post_reps: 4,
+    bg_hours: 2,
     updates: 6,
     videos: 4,
     sweep_videos: 2,
@@ -45,34 +57,137 @@ const QUICK: Scale = Scale {
 
 const SEED: u64 = 20140705;
 
-fn main() {
-    let args: Vec<String> = env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { QUICK } else { FULL };
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+const USAGE: &str = "\
+usage: repro [experiment] [--quick] [--jobs N] [--json DIR]
 
+experiments:
+  table1 table2 table3 fig6 fig7 fig8 fig10 fig11 fig12 fig13
+  fig14 fig15 fig16 fig17 fig18 fig19 fig20 exp76 exp77 ablation all
+
+flags:
+  --quick      reduced repetition counts (CI scale)
+  --jobs N     worker threads per campaign (default: available parallelism)
+  --json DIR   write machine-readable campaign reports under DIR
+";
+
+struct Opts {
+    scale: Scale,
+    jobs: usize,
+    json: Option<PathBuf>,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args(args: Vec<String>) -> (String, Opts) {
+    let mut quick = false;
+    let mut jobs: Option<usize> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut what: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        // Accept both `--flag value` and `--flag=value`.
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (arg.clone(), None),
+        };
+        let mut value = |name: &str| -> String {
+            inline.clone().or_else(|| it.next()).unwrap_or_else(|| {
+                usage_error(&format!("{name} requires a value"));
+            })
+        };
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => {
+                let v = value("--jobs");
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => jobs = Some(n),
+                    _ => usage_error(&format!("invalid --jobs value: {v:?}")),
+                }
+            }
+            "--json" => json = Some(PathBuf::from(value("--json"))),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            f if f.starts_with('-') => usage_error(&format!("unknown flag: {f}")),
+            _ => {
+                if what.is_some() {
+                    usage_error(&format!("unexpected extra argument: {arg}"));
+                }
+                what = Some(arg);
+            }
+        }
+    }
+
+    let opts = Opts {
+        scale: if quick { QUICK } else { FULL },
+        jobs: jobs.unwrap_or_else(harness::default_workers),
+        json,
+    };
+    (what.unwrap_or_else(|| "all".to_string()), opts)
+}
+
+fn main() -> ExitCode {
+    let (what, opts) = parse_args(env::args().skip(1).collect());
+
+    let mut failed = 0usize;
     match what.as_str() {
         "all" => {
             for name in [
-                "table1", "table2", "table3", "fig7", "fig10", "fig12", "fig14", "fig17",
-                "fig18", "fig19", "exp76", "exp77", "ablation",
+                "table1", "table2", "table3", "fig7", "fig10", "fig12", "fig14", "fig17", "fig18",
+                "fig19", "exp76", "exp77", "ablation",
             ] {
-                run(name, &scale);
+                failed += run(name, &opts);
             }
         }
-        name => run(name, &scale),
+        name => failed += run(name, &opts),
     }
+
+    if failed > 0 {
+        eprintln!("repro: {failed} campaign job(s) panicked (reported above)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn header(name: &str, paper: &str) {
     println!("\n=== {name} — {paper} ===");
 }
 
-fn run(name: &str, s: &Scale) {
+/// Run one campaign on the configured worker count, write its JSON report
+/// if `--json` was given, report panicked jobs on stderr, and hand back the
+/// successful rows in job order. Returns the rows plus the failed-job count.
+fn campaign_rows<T: Record + Send>(c: Campaign<T>, opts: &Opts, failed: &mut usize) -> Vec<T> {
+    let run = c.run(opts.jobs);
+    if let Some(dir) = &opts.json {
+        match harness::write_report(dir, &run) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("repro: failed to write report for {}: {e}", run.name),
+        }
+    }
+    *failed += run.failed();
+    run.jobs
+        .into_iter()
+        .filter_map(|j| match j.outcome {
+            Outcome::Ok(row) => Some(row),
+            Outcome::Panicked(msg) => {
+                eprintln!(
+                    "repro: job {}/{} (seed {}) panicked: {msg}",
+                    run.name, j.label, j.seed
+                );
+                None
+            }
+        })
+        .collect()
+}
+
+fn run(name: &str, opts: &Opts) -> usize {
+    let s = &opts.scale;
+    let mut failed = 0usize;
     match name {
         "table1" => {
             header("table1", "Replayed behaviours and latency anchors");
@@ -84,39 +199,51 @@ fn run(name: &str, s: &Scale) {
         }
         "table3" | "fig6" => {
             header(name, "Tool accuracy and overhead (§7.1)");
-            let (bars, overhead) = repro::exp71::run(s.accuracy_reps, SEED);
-            for b in &bars {
-                println!("{b}");
+            for part in campaign_rows(
+                repro::exp71::campaign(s.accuracy_reps, SEED),
+                opts,
+                &mut failed,
+            ) {
+                println!("{}", part.row());
             }
-            println!("{overhead}");
         }
         "fig7" | "fig8" => {
             header(name, "Post uploading breakdown (§7.2)");
-            let (fig7, fig8) = repro::exp72::run(s.post_reps, SEED);
+            let runs = campaign_rows(repro::exp72::campaign(s.post_reps, SEED), opts, &mut failed);
             println!("-- Fig 7: device vs network delay --");
-            for r in &fig7 {
-                println!("{r}");
+            for r in &runs {
+                println!("{}", r.fig7);
             }
             println!("-- Fig 8: fine-grained network latency (2 photos) --");
-            for r in &fig8 {
-                println!("{r}");
+            for r in &runs {
+                if let Some(nb) = &r.fig8 {
+                    println!("{nb}");
+                }
             }
         }
         "fig10" | "fig11" => {
             header(name, "Background data/energy vs post frequency (§7.3)");
-            for r in repro::exp73::run_fig10_11(SEED) {
+            for r in campaign_rows(
+                repro::exp73::campaign_fig10_11(s.bg_hours, SEED),
+                opts,
+                &mut failed,
+            ) {
                 println!("{r}");
             }
         }
         "fig12" | "fig13" => {
             header(name, "Background data/energy vs refresh interval (§7.3)");
-            for r in repro::exp73::run_fig12_13(SEED) {
+            for r in campaign_rows(
+                repro::exp73::campaign_fig12_13(s.bg_hours, SEED),
+                opts,
+                &mut failed,
+            ) {
                 println!("{r}");
             }
         }
         "fig14" | "fig15" | "fig16" => {
             header(name, "WebView vs ListView news feed updates (§7.4)");
-            for r in repro::exp74::run(s.updates, SEED) {
+            for r in campaign_rows(repro::exp74::campaign(s.updates, SEED), opts, &mut failed) {
                 println!("{r}");
                 let cdf = r.cdf();
                 println!(
@@ -128,7 +255,11 @@ fn run(name: &str, s: &Scale) {
         }
         "fig17" => {
             header(name, "Throttled vs unthrottled video QoE (§7.5)");
-            for r in repro::exp75::run_fig17(s.videos, SEED) {
+            for r in campaign_rows(
+                repro::exp75::campaign_fig17(s.videos, SEED),
+                opts,
+                &mut failed,
+            ) {
                 println!("{r}");
                 println!(
                     "         loading cdf: {}",
@@ -138,7 +269,7 @@ fn run(name: &str, s: &Scale) {
         }
         "fig18" => {
             header(name, "Shaping vs policing throughput signature (§7.5)");
-            let traces = repro::exp75::run_fig18(SEED);
+            let traces = campaign_rows(repro::exp75::campaign_fig18(SEED), opts, &mut failed);
             let hi = traces
                 .iter()
                 .flat_map(|t| t.series.iter().cloned())
@@ -151,32 +282,48 @@ fn run(name: &str, s: &Scale) {
         }
         "fig19" | "fig20" => {
             header(name, "QoE vs throttled bandwidth sweep (§7.5)");
-            for r in repro::exp75::run_sweep(s.sweep_videos, SEED) {
+            for r in campaign_rows(
+                repro::exp75::campaign_sweep(s.sweep_videos, SEED),
+                opts,
+                &mut failed,
+            ) {
                 println!("{r}");
             }
         }
         "exp76" => {
             header(name, "Video ads and loading time (§7.6)");
-            for r in repro::exp76::run(s.ad_reps, SEED) {
+            for r in campaign_rows(repro::exp76::campaign(s.ad_reps, SEED), opts, &mut failed) {
                 println!("{r}");
             }
         }
         "ablation" => {
-            header(name, "Ablations: mapper mechanisms, calibration, throttle discipline");
-            println!("-- long-jump mapper resync mechanisms --");
-            for r in repro::ablation::mapper_ablation(s.post_reps.min(8), SEED) {
-                println!("{r}");
-            }
-            println!("-- §5.1 calibration --");
-            println!("{}", repro::ablation::calibration_ablation(s.accuracy_reps, SEED));
-            println!("-- token-bucket discipline at 128 kb/s on LTE --");
-            for r in repro::ablation::discipline_ablation(128e3, SEED) {
-                println!("{r}");
+            header(
+                name,
+                "Ablations: mapper mechanisms, calibration, throttle discipline",
+            );
+            let parts = campaign_rows(
+                repro::ablation::campaign(s.post_reps.min(8), s.accuracy_reps, 128e3, SEED),
+                opts,
+                &mut failed,
+            );
+            for part in parts {
+                match &part {
+                    repro::ablation::AblationPart::Mapper(_) => {
+                        println!("-- long-jump mapper resync mechanisms --")
+                    }
+                    repro::ablation::AblationPart::Calibration(_) => {
+                        println!("-- §5.1 calibration --")
+                    }
+                    repro::ablation::AblationPart::Discipline(_) => {
+                        println!("-- token-bucket discipline at 128 kb/s on LTE --")
+                    }
+                }
+                println!("{}", part.row());
             }
         }
         "exp77" => {
             header(name, "RRC state machine design and page loads (§7.7)");
-            let rows = repro::exp77::run(s.page_reps, SEED);
+            let rows = campaign_rows(repro::exp77::campaign(s.page_reps, SEED), opts, &mut failed);
             for r in &rows {
                 println!("{r}");
             }
@@ -185,9 +332,7 @@ fn run(name: &str, s: &Scale) {
                 repro::exp77::reduction_percent(&rows)
             );
         }
-        other => {
-            eprintln!("unknown experiment: {other}");
-            std::process::exit(2);
-        }
+        other => usage_error(&format!("unknown experiment: {other}")),
     }
+    failed
 }

@@ -19,8 +19,8 @@ pub fn sparkline_in(values: &[f64], lo: f64, hi: f64) -> String {
     values
         .iter()
         .map(|v| {
-            let idx = (((v - lo) / span).clamp(0.0, 1.0) * (BARS.len() - 1) as f64).round()
-                as usize;
+            let idx =
+                (((v - lo) / span).clamp(0.0, 1.0) * (BARS.len() - 1) as f64).round() as usize;
             BARS[idx.min(BARS.len() - 1)]
         })
         .collect()
@@ -35,7 +35,9 @@ pub fn downsample(values: &[f64], width: usize) -> Vec<f64> {
     let chunk = values.len() as f64 / width as f64;
     for i in 0..width {
         let lo = (i as f64 * chunk) as usize;
-        let hi = (((i + 1) as f64 * chunk) as usize).min(values.len()).max(lo + 1);
+        let hi = (((i + 1) as f64 * chunk) as usize)
+            .min(values.len())
+            .max(lo + 1);
         let slice = &values[lo..hi];
         out.push(slice.iter().sum::<f64>() / slice.len() as f64);
     }
@@ -51,7 +53,14 @@ pub fn cdf_strip(cdf: &simcore::Cdf, unit_scale: f64, unit: &str) -> String {
     let qs = [0.10, 0.25, 0.50, 0.75, 0.90];
     let parts: Vec<String> = qs
         .iter()
-        .map(|q| format!("p{:.0}={:.0}{}", q * 100.0, cdf.quantile(*q) * unit_scale, unit))
+        .map(|q| {
+            format!(
+                "p{:.0}={:.0}{}",
+                q * 100.0,
+                cdf.quantile(*q) * unit_scale,
+                unit
+            )
+        })
         .collect();
     parts.join(" ")
 }

@@ -143,7 +143,10 @@ pub fn facebook_world_cfg(
     world.internet.add_server(
         "graph.facebook.com",
         origin_ip,
-        Box::new(FacebookOrigin::new(push_bytes, SimDuration::from_millis(1_100))),
+        Box::new(FacebookOrigin::new(
+            push_bytes,
+            SimDuration::from_millis(1_100),
+        )),
     );
     world.internet.add_alias("push.facebook.com", origin_ip);
     if let Some(interval) = post_interval {
@@ -190,7 +193,11 @@ pub fn youtube_world(
     seed: u64,
     light_qxdm: bool,
 ) -> World {
-    let cfg = YouTubeConfig { videos, ad, ..YouTubeConfig::default() };
+    let cfg = YouTubeConfig {
+        videos,
+        ad,
+        ..YouTubeConfig::default()
+    };
     build_world(Box::new(YouTubeApp::new(cfg)), net, seed, light_qxdm)
 }
 
@@ -229,7 +236,9 @@ mod tests {
         let d = video_dataset(1);
         assert_eq!(d.len(), 260);
         assert!(d.iter().all(|v| v.duration >= SimDuration::from_secs(20)));
-        assert!(d.iter().all(|v| v.bitrate_bps >= 300e3 && v.bitrate_bps <= 750e3));
+        assert!(d
+            .iter()
+            .all(|v| v.bitrate_bps >= 300e3 && v.bitrate_bps <= 750e3));
         // Deterministic.
         let d2 = video_dataset(1);
         assert_eq!(d[0].name, d2[0].name);

@@ -129,7 +129,10 @@ pub fn table2() -> Vec<ExperimentRow> {
 
 /// Print Table 1.
 pub fn print_table1() {
-    println!("{:<12} {:<16} {:<30} {:<26} {}", "Application", "Behavior", "Metric", "Start", "End");
+    println!(
+        "{:<12} {:<16} {:<30} {:<26} {}",
+        "Application", "Behavior", "Metric", "Start", "End"
+    );
     for r in table1() {
         println!(
             "{:<12} {:<16} {:<30} {:<26} {}",
@@ -140,7 +143,10 @@ pub fn print_table1() {
 
 /// Print Table 2.
 pub fn print_table2() {
-    println!("{:<6} {:<52} {:<26} {:<12} {}", "§", "Goal", "Factors", "App", "Regenerate");
+    println!(
+        "{:<6} {:<52} {:<26} {:<12} {}",
+        "§", "Goal", "Factors", "App", "Regenerate"
+    );
     for r in table2() {
         println!(
             "{:<6} {:<52} {:<26} {:<12} {}",
@@ -166,7 +172,10 @@ mod tests {
         let rows = table2();
         assert_eq!(rows.len(), 7);
         for section in ["7.1", "7.2", "7.3", "7.4", "7.5", "7.6", "7.7"] {
-            assert!(rows.iter().any(|r| r.section == section), "missing {section}");
+            assert!(
+                rows.iter().any(|r| r.section == section),
+                "missing {section}"
+            );
         }
     }
 }

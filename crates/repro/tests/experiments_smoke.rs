@@ -37,17 +37,22 @@ fn exp73_background_data_scales_with_push_frequency() {
         "fast",
         Some(simcore::SimDuration::from_mins(10)),
         Some(simcore::SimDuration::from_hours(1)),
+        repro::exp73::RUN_HOURS,
         5,
     );
     let none = repro::exp73::run_config(
         "none",
         None,
         Some(simcore::SimDuration::from_hours(1)),
+        repro::exp73::RUN_HOURS,
         5,
     );
     assert!(fast.total_kb() > 2.0 * none.total_kb(), "{fast} vs {none}");
     assert!(fast.total_j() > none.total_j());
-    assert!(none.total_kb() > 50.0, "baseline refresh traffic exists: {none}");
+    assert!(
+        none.total_kb() > 50.0,
+        "baseline refresh traffic exists: {none}"
+    );
 }
 
 #[test]
@@ -56,7 +61,10 @@ fn exp74_webview_updates_slower_and_heavier() {
     let lv = repro::exp74::run_config(FbVersion::ListView50, NetKind::Lte, 3, 6);
     let wv = repro::exp74::run_config(FbVersion::WebView18, NetKind::Lte, 3, 7);
     assert!(!lv.latencies.is_empty() && !wv.latencies.is_empty());
-    assert!(wv.cdf().quantile(0.5) > 2.0 * lv.cdf().quantile(0.5), "{wv} vs {lv}");
+    assert!(
+        wv.cdf().quantile(0.5) > 2.0 * lv.cdf().quantile(0.5),
+        "{wv} vs {lv}"
+    );
     assert!(wv.dl_bytes > 3.0 * lv.dl_bytes, "{wv} vs {lv}");
 }
 
@@ -66,8 +74,8 @@ fn exp75_throttling_degrades_qoe() {
     let throttled = repro::exp75::run_watch(NetKind::LteThrottled(128e3), 1, 8);
     let free_rebuf: f64 =
         free.videos.iter().map(|v| v.rebuffering).sum::<f64>() / free.videos.len() as f64;
-    let thr_rebuf: f64 = throttled.videos.iter().map(|v| v.rebuffering).sum::<f64>()
-        / throttled.videos.len() as f64;
+    let thr_rebuf: f64 =
+        throttled.videos.iter().map(|v| v.rebuffering).sum::<f64>() / throttled.videos.len() as f64;
     assert!(free_rebuf < 0.05, "unthrottled rebuffer {free_rebuf}");
     assert!(thr_rebuf > 0.3, "throttled rebuffer {thr_rebuf}");
     assert!(
@@ -91,7 +99,10 @@ fn exp75_fig18_shaping_smoother_than_policing() {
         shaped.std_bps / shaped.mean_bps < policed.std_bps / policed.mean_bps,
         "coefficient of variation: {shaped} vs {policed}"
     );
-    assert!(policed.retransmissions > shaped.retransmissions, "{shaped} vs {policed}");
+    assert!(
+        policed.retransmissions > shaped.retransmissions,
+        "{shaped} vs {policed}"
+    );
 }
 
 #[test]

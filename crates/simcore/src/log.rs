@@ -25,7 +25,9 @@ pub struct RecordLog<T> {
 
 impl<T> Default for RecordLog<T> {
     fn default() -> Self {
-        RecordLog { entries: Vec::new() }
+        RecordLog {
+            entries: Vec::new(),
+        }
     }
 }
 

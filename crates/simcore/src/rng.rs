@@ -18,7 +18,9 @@ pub struct DetRng {
 impl DetRng {
     /// Create a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        DetRng { inner: StdRng::seed_from_u64(seed) }
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Derive an independent child generator; used to give each component its

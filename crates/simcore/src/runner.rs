@@ -45,7 +45,10 @@ pub fn run_until<T: Tick>(root: &mut T, end: SimTime) -> SimTime {
         while root.next_wake().is_some_and(|w| w <= now) {
             root.tick(now);
             settles += 1;
-            assert!(settles < SETTLE_LIMIT, "livelock at {now}: component keeps requesting work");
+            assert!(
+                settles < SETTLE_LIMIT,
+                "livelock at {now}: component keeps requesting work"
+            );
         }
         // Advance to the next instant with work.
         match root.next_wake() {
@@ -88,17 +91,26 @@ mod tests {
 
     #[test]
     fn runs_periodic_events_with_cascades() {
-        let mut p = Periodic { q: EventQueue::new(), fired: Vec::new() };
+        let mut p = Periodic {
+            q: EventQueue::new(),
+            fired: Vec::new(),
+        };
         p.q.push(SimTime::from_secs(1), "main");
         let last = run_until(&mut p, SimTime::from_secs(100));
         assert_eq!(last, SimTime::from_secs(3));
         let tags: Vec<_> = p.fired.iter().map(|(_, t)| *t).collect();
-        assert_eq!(tags, vec!["main", "follow", "main", "follow", "main", "follow"]);
+        assert_eq!(
+            tags,
+            vec!["main", "follow", "main", "follow", "main", "follow"]
+        );
     }
 
     #[test]
     fn stops_at_end_time() {
-        let mut p = Periodic { q: EventQueue::new(), fired: Vec::new() };
+        let mut p = Periodic {
+            q: EventQueue::new(),
+            fired: Vec::new(),
+        };
         p.q.push(SimTime::from_secs(5), "late");
         let last = run_until(&mut p, SimTime::from_secs(2));
         assert_eq!(last, SimTime::ZERO);
@@ -113,6 +125,6 @@ mod tests {
         assert_eq!(earlier(a, b), a);
         assert_eq!(earlier(None, b), b);
         assert_eq!(earlier(a, None), a);
-        assert_eq!(earlier::<>(None, None), None);
+        assert_eq!(earlier(None, None), None);
     }
 }

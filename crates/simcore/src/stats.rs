@@ -24,10 +24,52 @@ pub struct Summary {
 }
 
 impl Summary {
+    /// Merge summaries of disjoint sample sets, as the campaign harness does
+    /// when combining per-job results. `n`, `mean`, `std_dev`, `min` and
+    /// `max` are exact (pooled moments); the merged `median` is the
+    /// sample-count-weighted mean of the part medians, an approximation —
+    /// merge [`Cdf`]s instead when an exact quantile is needed.
+    pub fn merge(parts: &[Summary]) -> Summary {
+        let n: usize = parts.iter().map(|p| p.n).sum();
+        if n == 0 {
+            return Summary::of(&[]);
+        }
+        let nf = n as f64;
+        let mean = parts.iter().map(|p| p.mean * p.n as f64).sum::<f64>() / nf;
+        // E[x^2] pooled from each part's mean and variance.
+        let ex2 = parts
+            .iter()
+            .map(|p| (p.std_dev.powi(2) + p.mean.powi(2)) * p.n as f64)
+            .sum::<f64>()
+            / nf;
+        let occupied = parts.iter().filter(|p| p.n > 0);
+        Summary {
+            n,
+            mean,
+            std_dev: (ex2 - mean.powi(2)).max(0.0).sqrt(),
+            min: occupied
+                .clone()
+                .map(|p| p.min)
+                .fold(f64::INFINITY, f64::min),
+            max: occupied
+                .clone()
+                .map(|p| p.max)
+                .fold(f64::NEG_INFINITY, f64::max),
+            median: occupied.map(|p| p.median * p.n as f64).sum::<f64>() / nf,
+        }
+    }
+
     /// Compute summary statistics of `samples`.
     pub fn of(samples: &[f64]) -> Summary {
         if samples.is_empty() {
-            return Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0 };
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            };
         }
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
@@ -82,6 +124,17 @@ impl Cdf {
         Cdf { values }
     }
 
+    /// Exact merge of CDFs over disjoint sample sets: the CDF of the
+    /// concatenated samples.
+    pub fn merge(parts: &[Cdf]) -> Cdf {
+        let mut values: Vec<f64> = parts
+            .iter()
+            .flat_map(|p| p.values.iter().copied())
+            .collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        Cdf { values }
+    }
+
     /// Fraction of samples `<= x`.
     pub fn fraction_at(&self, x: f64) -> f64 {
         if self.values.is_empty() {
@@ -99,7 +152,10 @@ impl Cdf {
     /// Iterate `(value, cumulative_fraction)` points for plotting.
     pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
         let n = self.values.len();
-        self.values.iter().enumerate().map(move |(i, v)| (*v, (i + 1) as f64 / n as f64))
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (*v, (i + 1) as f64 / n as f64))
     }
 }
 
@@ -116,7 +172,10 @@ impl BinSeries {
     /// New series with the given bin width in seconds.
     pub fn new(bin_secs: f64) -> BinSeries {
         assert!(bin_secs > 0.0);
-        BinSeries { bin_secs, bins: Vec::new() }
+        BinSeries {
+            bin_secs,
+            bins: Vec::new(),
+        }
     }
 
     /// Add `value` at time `t_secs`, growing the series as needed.
@@ -131,7 +190,10 @@ impl BinSeries {
 
     /// Iterate `(bin_start_secs, value)` pairs.
     pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
-        self.bins.iter().enumerate().map(move |(i, v)| (i as f64 * self.bin_secs, *v))
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (i as f64 * self.bin_secs, *v))
     }
 
     /// Mean of the bin values, 0 when empty.
@@ -173,6 +235,37 @@ mod tests {
         let s = Summary::of(&[]);
         assert_eq!(s.n, 0);
         assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_merge_matches_whole_except_median() {
+        let a = [1.0, 5.0, 2.0];
+        let b = [9.0, 3.0, 4.0, 8.0];
+        let merged = Summary::merge(&[Summary::of(&a), Summary::of(&b)]);
+        let whole: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let expected = Summary::of(&whole);
+        assert_eq!(merged.n, expected.n);
+        assert!((merged.mean - expected.mean).abs() < 1e-12);
+        assert!((merged.std_dev - expected.std_dev).abs() < 1e-12);
+        assert_eq!(merged.min, expected.min);
+        assert_eq!(merged.max, expected.max);
+    }
+
+    #[test]
+    fn summary_merge_skips_empty_parts() {
+        let merged = Summary::merge(&[Summary::of(&[]), Summary::of(&[2.0, 4.0])]);
+        assert_eq!(merged.n, 2);
+        assert_eq!(merged.min, 2.0);
+        assert_eq!(merged.max, 4.0);
+        assert!((merged.mean - 3.0).abs() < 1e-12);
+        assert_eq!(Summary::merge(&[]).n, 0);
+    }
+
+    #[test]
+    fn cdf_merge_is_exact() {
+        let merged = Cdf::merge(&[Cdf::of(&[3.0, 1.0]), Cdf::of(&[2.0]), Cdf::of(&[])]);
+        assert_eq!(merged.values, vec![1.0, 2.0, 3.0]);
+        assert_eq!(merged, Cdf::of(&[1.0, 2.0, 3.0]));
     }
 
     #[test]

@@ -25,7 +25,9 @@ fn load_page(net: NetKind) {
     let m = doctor.measure_after(
         "page_load",
         &UiEvent::KeyEnter,
-        &WaitCondition::Hidden { id: "page_progress".into() },
+        &WaitCondition::Hidden {
+            id: "page_progress".into(),
+        },
         SimDuration::from_secs(60),
     );
     let rec = m.record.clone();
@@ -41,9 +43,12 @@ fn load_page(net: NetKind) {
         }
         let rtts = first_hop_ota_rtts(qxdm, netstack::Direction::Uplink);
         if !rtts.is_empty() {
-            let mean = rtts.iter().map(|(_, d)| d.as_secs_f64()).sum::<f64>()
-                / rtts.len() as f64;
-            println!("  mean first-hop OTA RTT: {:.1} ms ({} samples)", mean * 1e3, rtts.len());
+            let mean = rtts.iter().map(|(_, d)| d.as_secs_f64()).sum::<f64>() / rtts.len() as f64;
+            println!(
+                "  mean first-hop OTA RTT: {:.1} ms ({} samples)",
+                mean * 1e3,
+                rtts.len()
+            );
         }
     }
 }

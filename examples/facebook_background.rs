@@ -33,7 +33,11 @@ fn main() {
 
     let report = TransportReport::analyze(&col.trace);
     let (ul, dl) = report.volume_to("facebook");
-    println!("mobile data over 2 h: {:.0} KB up, {:.0} KB down", ul as f64 / 1e3, dl as f64 / 1e3);
+    println!(
+        "mobile data over 2 h: {:.0} KB up, {:.0} KB down",
+        ul as f64 / 1e3,
+        dl as f64 / 1e3
+    );
     for f in report.flows_to("facebook") {
         println!(
             "  flow to {:<20} up {:>7} B  down {:>7} B",

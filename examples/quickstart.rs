@@ -44,7 +44,9 @@ fn main() {
     let measured = doctor.measure_after(
         "page_load",
         &UiEvent::KeyEnter,
-        &WaitCondition::Hidden { id: "page_progress".into() },
+        &WaitCondition::Hidden {
+            id: "page_progress".into(),
+        },
         SimDuration::from_secs(60),
     );
 

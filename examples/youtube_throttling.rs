@@ -34,8 +34,12 @@ fn watch(net: NetKind) {
     // loading window.
     let loading = doctor.measure_after(
         "video:initial_loading",
-        &UiEvent::Click { target: ViewSignature::by_id("result_demo") },
-        &WaitCondition::Hidden { id: "player_progress".into() },
+        &UiEvent::Click {
+            target: ViewSignature::by_id("result_demo"),
+        },
+        &WaitCondition::Hidden {
+            id: "player_progress".into(),
+        },
         SimDuration::from_secs(300),
     );
     // Watch to the end, recording every stall.

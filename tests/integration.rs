@@ -14,9 +14,7 @@ use qoe_doctor::analyze::transport::TransportReport;
 use qoe_doctor::{Controller, WaitCondition};
 use radio::power::PowerModel;
 use radio::rrc::RrcState;
-use repro::scenario::{
-    browser_world, facebook_world, youtube_world, NetKind, PUSH_BYTES,
-};
+use repro::scenario::{browser_world, facebook_world, youtube_world, NetKind, PUSH_BYTES};
 use simcore::{SimDuration, SimTime};
 
 // ---------------------------------------------------------------------
@@ -25,8 +23,16 @@ use simcore::{SimDuration, SimTime};
 
 #[test]
 fn status_post_local_echo_on_lte() {
-    let world =
-        facebook_world(FbVersion::ListView50, None, false, None, PUSH_BYTES, NetKind::Lte, 1, false);
+    let world = facebook_world(
+        FbVersion::ListView50,
+        None,
+        false,
+        None,
+        PUSH_BYTES,
+        NetKind::Lte,
+        1,
+        false,
+    );
     let mut doctor = Controller::new(world);
     doctor.advance(SimDuration::from_secs(10));
     doctor.interact(&UiEvent::TypeText {
@@ -35,7 +41,9 @@ fn status_post_local_echo_on_lte() {
     });
     let m = doctor.measure_after(
         "upload_post:status",
-        &UiEvent::Click { target: ViewSignature::by_id("post_button") },
+        &UiEvent::Click {
+            target: ViewSignature::by_id("post_button"),
+        },
         &WaitCondition::TextAppears {
             container: "news_feed".into(),
             needle: "status: integration".into(),
@@ -71,8 +79,16 @@ fn status_post_local_echo_on_lte() {
 
 #[test]
 fn photo_post_network_on_critical_path_3g() {
-    let world =
-        facebook_world(FbVersion::ListView50, None, false, None, PUSH_BYTES, NetKind::Umts3g, 2, false);
+    let world = facebook_world(
+        FbVersion::ListView50,
+        None,
+        false,
+        None,
+        PUSH_BYTES,
+        NetKind::Umts3g,
+        2,
+        false,
+    );
     let mut doctor = Controller::new(world);
     doctor.advance(SimDuration::from_secs(30));
     doctor.interact(&UiEvent::TypeText {
@@ -81,22 +97,33 @@ fn photo_post_network_on_critical_path_3g() {
     });
     let m = doctor.measure_after(
         "upload_post:photos",
-        &UiEvent::Click { target: ViewSignature::by_id("post_button") },
-        &WaitCondition::TextAppears { container: "news_feed".into(), needle: "photos: trip".into() },
+        &UiEvent::Click {
+            target: ViewSignature::by_id("post_button"),
+        },
+        &WaitCondition::TextAppears {
+            container: "news_feed".into(),
+            needle: "photos: trip".into(),
+        },
         SimDuration::from_secs(120),
     );
     assert!(!m.record.timed_out);
     let rec = m.record.clone();
     let col = doctor.collect();
     let b = window_breakdown(&rec, &col.trace);
-    assert!(!b.response_outside_window, "photo post waits for the server");
+    assert!(
+        !b.response_outside_window,
+        "photo post waits for the server"
+    );
     // Network dominates (Finding 2: >= 65% share in the paper).
     let net_share = b.network_latency.as_secs_f64() / b.user_latency.as_secs_f64();
     assert!(net_share > 0.5, "network share {net_share}");
     // The QoE window saw an RRC promotion out of PCH.
     let qxdm = col.qxdm.as_ref().unwrap();
     let transitions = rrc_transitions_in(qxdm, rec.start, rec.end);
-    assert!(!transitions.is_empty(), "expected promotions inside the window");
+    assert!(
+        !transitions.is_empty(),
+        "expected promotions inside the window"
+    );
 }
 
 #[test]
@@ -116,13 +143,19 @@ fn webview_update_slower_and_heavier_than_listview() {
         doctor.advance(SimDuration::from_secs(5));
         if version == FbVersion::WebView18 {
             doctor.advance(SimDuration::from_secs(40));
-            doctor.interact(&UiEvent::Scroll { target: ViewSignature::by_id("news_feed") });
+            doctor.interact(&UiEvent::Scroll {
+                target: ViewSignature::by_id("news_feed"),
+            });
         }
         let m = doctor
             .measure_span(
                 "pull_to_update",
-                &WaitCondition::Shown { id: "feed_progress".into() },
-                &WaitCondition::Hidden { id: "feed_progress".into() },
+                &WaitCondition::Shown {
+                    id: "feed_progress".into(),
+                },
+                &WaitCondition::Hidden {
+                    id: "feed_progress".into(),
+                },
                 SimDuration::from_secs(120),
             )
             .expect("update observed");
@@ -142,7 +175,10 @@ fn webview_update_slower_and_heavier_than_listview() {
         wv_latency.as_secs_f64() > 2.0 * lv_latency.as_secs_f64(),
         "WV {wv_latency} vs LV {lv_latency}"
     );
-    assert!(wv_dl as f64 > 3.0 * lv_dl as f64, "WV {wv_dl} B vs LV {lv_dl} B");
+    assert!(
+        wv_dl as f64 > 3.0 * lv_dl as f64,
+        "WV {wv_dl} B vs LV {lv_dl} B"
+    );
 }
 
 #[test]
@@ -169,7 +205,10 @@ fn background_run_consumes_data_and_energy() {
     let activity: Vec<SimTime> = col.trace.iter().map(|(at, _)| at).collect();
     let e = energy_breakdown(&res, &activity, &PowerModel::default());
     assert!(e.total_j() > 10.0, "energy {e:?}");
-    assert!(e.tail_j > e.non_tail_j, "tail should dominate background energy: {e:?}");
+    assert!(
+        e.tail_j > e.non_tail_j,
+        "tail should dominate background energy: {e:?}"
+    );
     // Most of the two hours is spent in PCH.
     let pch: SimDuration = res
         .iter()
@@ -200,12 +239,20 @@ fn play_one(net: NetKind, seed: u64) -> (SimDuration, f64, bool) {
     doctor.advance(SimDuration::from_secs(5));
     let m = doctor.measure_after(
         "video:initial_loading",
-        &UiEvent::Click { target: ViewSignature::by_id("result_itest") },
-        &WaitCondition::Hidden { id: "player_progress".into() },
+        &UiEvent::Click {
+            target: ViewSignature::by_id("result_itest"),
+        },
+        &WaitCondition::Hidden {
+            id: "player_progress".into(),
+        },
         SimDuration::from_secs(240),
     );
     let report = doctor.monitor_playback("video", SimDuration::from_secs(400));
-    (m.record.calibrated(), report.rebuffering_ratio(), report.finished)
+    (
+        m.record.calibrated(),
+        report.rebuffering_ratio(),
+        report.finished,
+    )
 }
 
 #[test]
@@ -239,7 +286,9 @@ fn page_load_and_long_jump_mapping_on_3g() {
     let m = doctor.measure_after(
         "page_load",
         &UiEvent::KeyEnter,
-        &WaitCondition::Hidden { id: "page_progress".into() },
+        &WaitCondition::Hidden {
+            id: "page_progress".into(),
+        },
         SimDuration::from_secs(60),
     );
     assert!(!m.record.timed_out);
@@ -262,8 +311,7 @@ fn page_load_and_long_jump_mapping_on_3g() {
     // First-hop OTA RTT estimates resemble the configured 60 ms.
     let rtts = first_hop_ota_rtts(qxdm, Direction::Uplink);
     assert!(!rtts.is_empty());
-    let mean =
-        rtts.iter().map(|(_, d)| d.as_secs_f64()).sum::<f64>() / rtts.len() as f64;
+    let mean = rtts.iter().map(|(_, d)| d.as_secs_f64()).sum::<f64>() / rtts.len() as f64;
     // The nearest-poll heuristic tends to underestimate (the paper notes
     // the same): accept a broad band around the configured 60 ms.
     assert!(mean > 0.005 && mean < 0.25, "mean OTA {mean}");
@@ -282,7 +330,9 @@ fn simplified_rrc_machine_loads_pages_faster() {
         let m = doctor.measure_after(
             "page_load",
             &UiEvent::KeyEnter,
-            &WaitCondition::Hidden { id: "page_progress".into() },
+            &WaitCondition::Hidden {
+                id: "page_progress".into(),
+            },
             SimDuration::from_secs(60),
         );
         assert!(!m.record.timed_out);
@@ -291,7 +341,10 @@ fn simplified_rrc_machine_loads_pages_faster() {
     let default = load(NetKind::Umts3g);
     let simplified = load(NetKind::Umts3gSimplified);
     let lte = load(NetKind::Lte);
-    assert!(simplified < default, "simplified {simplified} vs default {default}");
+    assert!(
+        simplified < default,
+        "simplified {simplified} vs default {default}"
+    );
     assert!(lte < simplified, "LTE {lte} vs simplified {simplified}");
 }
 
@@ -302,7 +355,14 @@ fn simplified_rrc_machine_loads_pages_faster() {
 #[test]
 fn diagnose_explains_a_3g_photo_post() {
     let world = facebook_world(
-        FbVersion::ListView50, None, false, None, PUSH_BYTES, NetKind::Umts3g, 31, false,
+        FbVersion::ListView50,
+        None,
+        false,
+        None,
+        PUSH_BYTES,
+        NetKind::Umts3g,
+        31,
+        false,
     );
     let mut doctor = Controller::new(world);
     doctor.advance(SimDuration::from_secs(30));
@@ -312,8 +372,13 @@ fn diagnose_explains_a_3g_photo_post() {
     });
     let m = doctor.measure_after(
         "upload_post:photos",
-        &UiEvent::Click { target: ViewSignature::by_id("post_button") },
-        &WaitCondition::TextAppears { container: "news_feed".into(), needle: "photos: diag".into() },
+        &UiEvent::Click {
+            target: ViewSignature::by_id("post_button"),
+        },
+        &WaitCondition::TextAppears {
+            container: "news_feed".into(),
+            needle: "photos: diag".into(),
+        },
         SimDuration::from_secs(120),
     );
     assert!(!m.record.timed_out);
@@ -325,7 +390,9 @@ fn diagnose_explains_a_3g_photo_post() {
     assert!(d.verdict().contains("network-bound"), "{}", d.verdict());
     assert!(d.verdict().contains("RLC transmission"), "{}", d.verdict());
     assert!(
-        d.flows.iter().any(|f| f.server.contains("graph.facebook.com")),
+        d.flows
+            .iter()
+            .any(|f| f.server.contains("graph.facebook.com")),
         "flows: {:?}",
         d.flows.iter().map(|f| f.server.clone()).collect::<Vec<_>>()
     );
@@ -341,7 +408,14 @@ fn diagnose_explains_a_3g_photo_post() {
 #[test]
 fn diagnose_explains_a_local_echo_status_post() {
     let world = facebook_world(
-        FbVersion::ListView50, None, false, None, PUSH_BYTES, NetKind::Lte, 32, false,
+        FbVersion::ListView50,
+        None,
+        false,
+        None,
+        PUSH_BYTES,
+        NetKind::Lte,
+        32,
+        false,
     );
     let mut doctor = Controller::new(world);
     doctor.advance(SimDuration::from_secs(10));
@@ -351,8 +425,13 @@ fn diagnose_explains_a_local_echo_status_post() {
     });
     let m = doctor.measure_after(
         "upload_post:status",
-        &UiEvent::Click { target: ViewSignature::by_id("post_button") },
-        &WaitCondition::TextAppears { container: "news_feed".into(), needle: "status: diag".into() },
+        &UiEvent::Click {
+            target: ViewSignature::by_id("post_button"),
+        },
+        &WaitCondition::TextAppears {
+            container: "news_feed".into(),
+            needle: "status: diag".into(),
+        },
         SimDuration::from_secs(60),
     );
     let rec = m.record.clone();
@@ -382,13 +461,25 @@ fn table1_replay_specs_execute_end_to_end() {
 
     // Facebook post spec on LTE.
     let world = facebook_world(
-        FbVersion::ListView50, None, false, None, PUSH_BYTES, NetKind::Lte, 22, true,
+        FbVersion::ListView50,
+        None,
+        false,
+        None,
+        PUSH_BYTES,
+        NetKind::Lte,
+        22,
+        true,
     );
     let mut doctor = Controller::new(world);
     doctor.advance(SimDuration::from_secs(5));
     let n = specs::facebook_upload_post("status: spec-driven").execute(&mut doctor);
     assert_eq!(n, 1);
-    assert!(doctor.world.phone.ui.root().any_text_contains("spec-driven"));
+    assert!(doctor
+        .world
+        .phone
+        .ui
+        .root()
+        .any_text_contains("spec-driven"));
 
     // YouTube spec: search + watch, logging the initial loading.
     let video = VideoSpec {
@@ -424,7 +515,9 @@ fn identical_seeds_reproduce_identical_measurements() {
         let m = doctor.measure_after(
             "page_load",
             &UiEvent::KeyEnter,
-            &WaitCondition::Hidden { id: "page_progress".into() },
+            &WaitCondition::Hidden {
+                id: "page_progress".into(),
+            },
             SimDuration::from_secs(60),
         );
         let col = doctor.collect();

@@ -1,0 +1,14 @@
+//! Offline shim for `serde` (see `vendor/README.md`).
+//!
+//! Marker traits plus re-exported no-op derives. The workspace derives
+//! `Serialize`/`Deserialize` on its data types to document their wire-
+//! readiness, but all machine-readable output is produced by
+//! `harness::json`, which has no dependencies.
+
+/// Marker: the type is intended to be serializable.
+pub trait Serialize {}
+
+/// Marker: the type is intended to be deserializable.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

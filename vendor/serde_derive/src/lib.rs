@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive` (see `vendor/README.md`).
+//!
+//! The derives accept the same syntax as upstream (including `#[serde(...)]`
+//! attributes) and expand to nothing: the workspace only *annotates* types as
+//! serializable, it never serializes through serde at runtime. Machine-
+//! readable output goes through `harness::json` instead.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
