@@ -16,7 +16,7 @@
 
 use crate::behavior::BehaviorRecord;
 use netstack::pcap::{Direction, PacketRecord};
-use netstack::{FlowKey, IpPacket, Proto};
+use netstack::{FlowKey, IpPacket};
 use radio::qxdm::{PduRecord, QxdmLog};
 use radio::rlc::PduEvent;
 use radio::rrc::RrcTransition;
@@ -51,13 +51,13 @@ pub fn window_breakdown(
 ) -> WindowBreakdown {
     let user_latency = record.calibrated();
     let in_window = trace.window(record.start, record.end);
-    // Group TCP payload-bearing traffic by flow.
+    // Group traffic by flow. DNS lookups (UDP) count toward the network
+    // span: a page stuck on an unanswered resolver is waiting on the
+    // network, and on cellular the first query also absorbs the RRC
+    // promotion — excluding it would book both against the device.
     let mut spans: HashMap<FlowKey, (SimTime, SimTime, u64)> = HashMap::new();
     for e in in_window {
         let pkt = &e.record.pkt;
-        if pkt.proto != Proto::Tcp {
-            continue;
-        }
         let key = e.record.flow();
         let entry = spans.entry(key).or_insert((e.at, e.at, 0));
         entry.0 = entry.0.min(e.at);
@@ -518,16 +518,22 @@ pub fn net_latency_breakdown(
 
     // IP-to-RLC delay: packet capture → first mapped PDU, counted only when
     // no other PDU was transmitted in between (channel idle on arrival).
-    for m in mapped {
-        let (Some(first), true) = (m.first_pdu_at, m.mapped()) else {
-            continue;
-        };
-        if m.captured_at < window_start || m.captured_at > window_end {
-            continue;
-        }
-        let intervening = pdu_times.iter().any(|t| *t > m.captured_at && *t < first);
-        if !intervening && first > m.captured_at {
-            out.ip_to_rlc += first.saturating_since(m.captured_at);
+    // Uplink only: the capture tap sits at the phone's IP boundary, so a
+    // downlink packet is captured *after* its PDUs — a positive gap there
+    // can only be a mapper mismatch, and summed over a bulk download those
+    // artifacts would dwarf every real component.
+    if dir == Direction::Uplink {
+        for m in mapped {
+            let (Some(first), true) = (m.first_pdu_at, m.mapped()) else {
+                continue;
+            };
+            if m.captured_at < window_start || m.captured_at > window_end {
+                continue;
+            }
+            let intervening = pdu_times.iter().any(|t| *t > m.captured_at && *t < first);
+            if !intervening && first > m.captured_at {
+                out.ip_to_rlc += first.saturating_since(m.captured_at);
+            }
         }
     }
 
@@ -564,7 +570,7 @@ pub fn net_latency_breakdown(
 mod tests {
     use super::*;
     use crate::behavior::StartKind;
-    use netstack::{IpAddr, SocketAddr, TcpFlags, TcpHeader};
+    use netstack::{IpAddr, Proto, SocketAddr, TcpFlags, TcpHeader};
 
     fn t(ms: u64) -> SimTime {
         SimTime::from_millis(ms)

@@ -52,6 +52,12 @@ pub struct Diagnosis {
     /// Fine-grained radio breakdown of the network share (cellular only,
     /// for the direction carrying the bulk of the window's data).
     pub radio_breakdown: Option<NetLatencyBreakdown>,
+    /// Share of RLC PDUs in the window flagged as retransmissions
+    /// (cellular only; 0.0 without PDU records). A healthy air interface
+    /// sits near zero — an elevated ratio is the QxDM signature of
+    /// first-hop loss, distinguishing a degraded radio link from a slow
+    /// core network or server.
+    pub rlc_retx_ratio: f64,
     /// Speed Index of the window's UI changes, when any were drawn.
     pub speed_index: Option<SimDuration>,
 }
@@ -77,7 +83,13 @@ pub fn diagnose(record: &BehaviorRecord, col: &Collection) -> Diagnosis {
     // Radio: transitions and, when PDU records exist, the RLC breakdown.
     let mut rrc_transitions = Vec::new();
     let mut radio_breakdown = None;
+    let mut rlc_retx_ratio = 0.0;
     if let Some(qxdm) = &col.qxdm {
+        let pdus = qxdm.pdus.window(record.start, record.end);
+        if !pdus.is_empty() {
+            let retx = pdus.iter().filter(|e| e.record.retransmission).count();
+            rlc_retx_ratio = retx as f64 / pdus.len() as f64;
+        }
         rrc_transitions = rrc_transitions_in(qxdm, record.start, record.end)
             .into_iter()
             .map(|(at, tr)| (at.saturating_since(record.start), tr))
@@ -103,14 +115,55 @@ pub fn diagnose(record: &BehaviorRecord, col: &Collection) -> Diagnosis {
                 .collect();
             if !pkts.is_empty() {
                 let mapped = long_jump_map(&pkts, qxdm, dir);
-                radio_breakdown = Some(net_latency_breakdown(
+                let mut rb = net_latency_breakdown(
                     record.start,
                     record.end,
                     split.network_latency,
                     &mapped,
                     qxdm,
                     dir,
-                ));
+                );
+                // IP-to-RLC waits are an uplink phenomenon: an RRC
+                // promotion holds the first *request* at the head of the
+                // uplink queue. A download-dominated window would book
+                // that wait under "core network + server", so fold the
+                // uplink's IP-to-RLC share back in (§7.7: page loads are
+                // promotion-dominated despite downlink bulk). Only the
+                // head-of-line packets — those captured before any
+                // downlink payload — qualify: once the response is
+                // flowing, per-ACK scheduling waits are not user-visible
+                // promotion time and would swamp the sum.
+                if dir == Direction::Downlink {
+                    let first_dl_payload = window
+                        .iter()
+                        .find(|e| {
+                            e.record.dir == Direction::Downlink && e.record.pkt.payload_len > 0
+                        })
+                        .map(|e| e.at);
+                    let ul_pkts: Vec<(SimTime, &IpPacket)> = window
+                        .iter()
+                        .filter(|e| e.record.dir == Direction::Uplink)
+                        .map(|e| (e.at, &e.record.pkt))
+                        .collect();
+                    if !ul_pkts.is_empty() {
+                        // Map the complete uplink sequence — the mapper's
+                        // walk needs every packet — then keep only the
+                        // head-of-line results for the fold.
+                        let mut ul_mapped = long_jump_map(&ul_pkts, qxdm, Direction::Uplink);
+                        ul_mapped.retain(|m| first_dl_payload.map_or(true, |t| m.captured_at < t));
+                        let ul = net_latency_breakdown(
+                            record.start,
+                            record.end,
+                            split.network_latency,
+                            &ul_mapped,
+                            qxdm,
+                            Direction::Uplink,
+                        );
+                        rb.ip_to_rlc += ul.ip_to_rlc;
+                        rb.other = rb.other.saturating_sub(ul.ip_to_rlc);
+                    }
+                }
+                radio_breakdown = Some(rb);
             }
         }
     }
@@ -124,6 +177,7 @@ pub fn diagnose(record: &BehaviorRecord, col: &Collection) -> Diagnosis {
         flows,
         rrc_transitions,
         radio_breakdown,
+        rlc_retx_ratio,
         speed_index,
     }
 }
@@ -191,6 +245,13 @@ impl fmt::Display for Diagnosis {
                 f,
                 "  radio: ip-to-rlc {}  rlc-tx {}  ota {}  other {}",
                 rb.ip_to_rlc, rb.rlc_tx, rb.ota, rb.other
+            )?;
+        }
+        if self.rlc_retx_ratio > 0.0 {
+            writeln!(
+                f,
+                "  rlc retransmissions: {:.0}% of PDUs in the window",
+                self.rlc_retx_ratio * 100.0
             )?;
         }
         Ok(())

@@ -53,6 +53,8 @@ pub mod replay;
 
 pub use behavior::{AppBehaviorLog, BehaviorRecord, StartKind};
 pub use collect::Collection;
-pub use controller::{Controller, Measured, PlaybackReport, WaitCondition};
+pub use controller::{
+    ControlError, Controller, Measured, PlaybackReport, RetryPolicy, WaitCondition,
+};
 pub use diagnose::{diagnose, Diagnosis};
 pub use replay::{InteractSpec, ReplaySpec, ReplayStep, WaitSpec};

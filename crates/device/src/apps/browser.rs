@@ -239,4 +239,11 @@ impl App for BrowserApp {
     fn next_wake(&self) -> Option<SimTime> {
         self.tasks.next_at()
     }
+
+    fn reset(&mut self) {
+        self.url_text.clear();
+        self.state = LoadState::Idle;
+        self.tasks = EventQueue::new();
+        self.next_tag = 1;
+    }
 }

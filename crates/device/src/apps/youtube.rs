@@ -484,4 +484,12 @@ impl App for YouTubeApp {
     fn next_wake(&self) -> Option<SimTime> {
         self.wake_at
     }
+
+    fn reset(&mut self) {
+        self.search_text.clear();
+        self.search_rpc = None;
+        self.player = None;
+        self.next_tag = 1;
+        self.wake_at = None;
+    }
 }

@@ -87,6 +87,10 @@ pub trait App {
     fn tick(&mut self, cx: &mut AppCx);
     /// Earliest self-scheduled work, if any.
     fn next_wake(&self) -> Option<SimTime>;
+    /// Drop all in-memory state, as a process kill would. Called on an
+    /// (injected or recovery-driven) app crash; `start` follows after the
+    /// relaunch cost. The default is a no-op for stateless apps.
+    fn reset(&mut self) {}
 }
 
 /// The device's network attachment.
@@ -155,6 +159,16 @@ pub struct Phone {
     /// CPU accounting does not attribute to the controller).
     pub parse_cpu_fraction: f64,
     started: bool,
+    /// Crashes the app has suffered (injected or recovery-driven).
+    pub crashes: u32,
+    ip: IpAddr,
+    resolver: SocketAddr,
+    /// Scheduled app crashes: `(at, relaunch_cost)`, kept sorted.
+    crash_plan: Vec<(SimTime, SimDuration)>,
+    /// A crash happened; the app comes back at this instant.
+    relaunch_at: Option<SimTime>,
+    /// Scheduled forced tech switches (cellular attachments only).
+    tech_switches: Vec<(SimTime, radio::bearer::BearerConfig)>,
 }
 
 impl Phone {
@@ -180,7 +194,54 @@ impl Phone {
             parse_per_view: SimDuration::from_micros(150),
             parse_cpu_fraction: 0.018,
             started: false,
+            crashes: 0,
+            ip,
+            resolver,
+            crash_plan: Vec::new(),
+            relaunch_at: None,
+            tech_switches: Vec::new(),
         }
+    }
+
+    /// Schedule an app crash at `at`: the process dies (all connections
+    /// and in-memory state lost, UI gone blank) and relaunches after
+    /// `relaunch_cost`.
+    pub fn schedule_crash(&mut self, at: SimTime, relaunch_cost: SimDuration) {
+        self.crash_plan.push((at, relaunch_cost));
+        self.crash_plan.sort_by_key(|(t, _)| *t);
+    }
+
+    /// Schedule a forced inter-RAT handover at `at` (no-op on WiFi).
+    pub fn schedule_tech_switch(&mut self, at: SimTime, cfg: radio::bearer::BearerConfig) {
+        self.tech_switches.push((at, cfg));
+        self.tech_switches.sort_by_key(|(t, _)| *t);
+    }
+
+    /// True while the app is dead between a crash and its relaunch.
+    pub fn app_down(&self) -> bool {
+        self.relaunch_at.is_some()
+    }
+
+    /// Kill and relaunch the app right now (a controller recovery action):
+    /// in-memory state and connections are lost, the UI goes blank, and
+    /// the app starts again after `relaunch_cost`.
+    pub fn force_relaunch(&mut self, now: SimTime, relaunch_cost: SimDuration) {
+        self.crash(now, relaunch_cost);
+    }
+
+    fn crash(&mut self, now: SimTime, relaunch_cost: SimDuration) {
+        self.crashes += 1;
+        self.app.reset();
+        // The process's sockets die with it; in-flight packets for them
+        // are dropped by the fresh stack like on a real NIC.
+        self.host = Host::new(self.ip, self.resolver, TcpConfig::default());
+        // Fresh ephemeral range per incarnation: the server still holds
+        // flow state for the dead process's 4-tuples.
+        self.host
+            .set_ephemeral_base(40_000u16.wrapping_add((self.crashes as u16).wrapping_mul(1_000)));
+        self.ui
+            .mutate(now, "app:crash", |root| root.children.clear());
+        self.relaunch_at = Some(now + relaunch_cost);
     }
 
     fn cx<'a>(
@@ -199,8 +260,13 @@ impl Phone {
         }
     }
 
-    /// Inject a UI interaction (controller entry point).
+    /// Inject a UI interaction (controller entry point). Events injected
+    /// while the app is dead (crashed, not yet relaunched) are lost, as
+    /// they would be on a real device.
     pub fn inject_ui(&mut self, ev: &UiEvent, now: SimTime) {
+        if self.app_down() {
+            return;
+        }
         let mut cx = Self::cx(
             &mut self.host,
             &mut self.ui,
@@ -213,13 +279,23 @@ impl Phone {
 
     /// Parse the UI layout tree (controller's `see`/`wait` component).
     /// Returns a snapshot plus the CPU time the parse consumed — the
-    /// `t_parsing` of Fig. 4.
-    pub fn parse_ui(&mut self, _now: SimTime) -> (View, SimDuration) {
-        let views = self.ui.root().count() as u64;
+    /// `t_parsing` of Fig. 4. During an injected UI freeze the snapshot is
+    /// the stale pre-freeze tree, exactly what InstrumentationTestCase
+    /// would read from a wedged UI thread.
+    pub fn parse_ui(&mut self, now: SimTime) -> (View, SimDuration) {
+        let (view, _) = self.ui.observe(now);
+        let views = view.count() as u64;
         let mean = self.parse_base + self.parse_per_view * views;
         let cost = self.rng.jittered(mean, 0.25);
         self.cpu.controller_busy += cost.mul_f64(self.parse_cpu_fraction);
-        (self.ui.snapshot(), cost)
+        (view, cost)
+    }
+
+    /// The observable UI revision at `now` (pinned during a freeze). The
+    /// controller's UI watchdog compares successive values to detect a
+    /// frozen layout tree.
+    pub fn ui_revision(&mut self, now: SimTime) -> u64 {
+        self.ui.observe(now).1
     }
 
     /// Advance the device at `now`.
@@ -234,6 +310,33 @@ impl Phone {
                 now,
             );
             self.app.start(&mut cx);
+        }
+        // Scheduled faults due at or before `now`.
+        while self
+            .crash_plan
+            .first()
+            .is_some_and(|(at, _)| *at <= now && !self.app_down())
+        {
+            let (_, cost) = self.crash_plan.remove(0);
+            self.crash(now, cost);
+        }
+        if self.relaunch_at.is_some_and(|t| t <= now) {
+            self.relaunch_at = None;
+            let mut cx = Self::cx(
+                &mut self.host,
+                &mut self.ui,
+                &mut self.rng,
+                &mut self.cpu,
+                now,
+            );
+            self.app.start(&mut cx);
+        }
+        while self.tech_switches.first().is_some_and(|(at, _)| *at <= now) {
+            let (_, cfg) = self.tech_switches.remove(0);
+            if let NetAttachment::Cell(b) = &mut self.net {
+                let mut rng = self.rng.fork(97);
+                b.switch_tech(cfg, &mut rng, now);
+            }
         }
         // 1. Downlink into the stack (through the capture tap).
         match &mut self.net {
@@ -251,8 +354,8 @@ impl Phone {
                 }
             }
         }
-        // 2. App logic.
-        {
+        // 2. App logic (a dead process runs nothing).
+        if !self.app_down() {
             let mut cx = Self::cx(
                 &mut self.host,
                 &mut self.ui,
@@ -292,7 +395,12 @@ impl Phone {
     /// Earliest instant the device has work.
     pub fn next_wake(&self) -> Option<SimTime> {
         let mut wake = self.host.next_wake();
-        wake = earlier(wake, self.app.next_wake());
+        if !self.app_down() {
+            wake = earlier(wake, self.app.next_wake());
+        }
+        wake = earlier(wake, self.crash_plan.first().map(|(at, _)| *at));
+        wake = earlier(wake, self.relaunch_at);
+        wake = earlier(wake, self.tech_switches.first().map(|(at, _)| *at));
         match &self.net {
             NetAttachment::Cell(b) => wake = earlier(wake, b.next_wake()),
             NetAttachment::Wifi { up, down } => {

@@ -292,6 +292,18 @@ pub struct Internet {
     rng: DetRng,
     dns_egress: Vec<IpPacket>,
     next_dns_id: u64,
+    /// Injected DNS failure windows `[from, until)`: queries arriving
+    /// inside a window are dropped (resolver unreachable; the stub
+    /// resolver's retry handles recovery).
+    dns_outages: Vec<(SimTime, SimTime)>,
+    /// Injected per-server stall windows: `(server_name, from, until)` —
+    /// packets to that server are dropped inside the window, so
+    /// established connections stall until TCP retransmits past it.
+    server_stalls: Vec<(String, SimTime, SimTime)>,
+    /// Queries dropped by DNS outages.
+    pub dns_dropped: u64,
+    /// Packets dropped by server stalls.
+    pub stall_dropped: u64,
 }
 
 impl Internet {
@@ -303,7 +315,24 @@ impl Internet {
             rng,
             dns_egress: Vec::new(),
             next_dns_id: 0,
+            dns_outages: Vec::new(),
+            server_stalls: Vec::new(),
+            dns_dropped: 0,
+            stall_dropped: 0,
         }
+    }
+
+    /// Inject a DNS failure window: queries in `[from, until)` go
+    /// unanswered.
+    pub fn fail_dns(&mut self, from: SimTime, until: SimTime) {
+        self.dns_outages.push((from, until));
+    }
+
+    /// Inject a server stall: packets addressed to the server registered
+    /// as `name` are dropped in `[from, until)` (connection appears hung,
+    /// new connection attempts time out and retry).
+    pub fn stall_server(&mut self, name: &str, from: SimTime, until: SimTime) {
+        self.server_stalls.push((name.to_string(), from, until));
     }
 
     /// Register an additional DNS name for an existing server's address.
@@ -324,6 +353,10 @@ impl Internet {
     /// Deliver a packet arriving from an access network.
     pub fn route(&mut self, pkt: IpPacket, now: SimTime) {
         if pkt.dst == self.dns.addr {
+            if self.dns_outages.iter().any(|(f, u)| *f <= now && now < *u) {
+                self.dns_dropped += 1;
+                return;
+            }
             let seq = &mut self.next_dns_id;
             let mut next_id = || {
                 *seq += 1;
@@ -335,6 +368,14 @@ impl Internet {
             return;
         }
         if let Some(node) = self.nodes.iter_mut().find(|n| n.host.ip == pkt.dst.ip) {
+            let stalled = self
+                .server_stalls
+                .iter()
+                .any(|(name, f, u)| name == &node.name && *f <= now && now < *u);
+            if stalled {
+                self.stall_dropped += 1;
+                return;
+            }
             node.host.on_packet(&pkt, now);
         }
     }

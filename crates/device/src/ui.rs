@@ -184,6 +184,20 @@ pub struct UiTree {
     /// `t_ui`. Evaluation-only; the controller never reads this.
     pub camera: RecordLog<ScreenEvent>,
     last_draw: SimTime,
+    /// Mutation counter: bumps on every applied layout change. The
+    /// controller's UI watchdog compares what *it* can observe
+    /// ([`UiTree::observe`]'s revision), which stays flat during a freeze.
+    revision: u64,
+    /// Injected ANR/UI-freeze windows `[from, until)`: the layout tree the
+    /// instrumentation reader sees stops updating for the duration.
+    freezes: Vec<(SimTime, SimTime)>,
+    /// Injected slow-draw windows `[from, until), factor`: the draw delay
+    /// is multiplied by `factor` inside the window.
+    slow_draws: Vec<(SimTime, SimTime, f64)>,
+    /// While a freeze is active: `(until, tree-at-freeze-start,
+    /// revision-at-freeze-start)` — what an observer sees instead of the
+    /// live tree.
+    frozen: Option<(SimTime, View, u64)>,
 }
 
 impl UiTree {
@@ -196,6 +210,61 @@ impl UiTree {
             draw_jitter: 0.30,
             camera: RecordLog::new(),
             last_draw: SimTime::ZERO,
+            revision: 0,
+            freezes: Vec::new(),
+            slow_draws: Vec::new(),
+            frozen: None,
+        }
+    }
+
+    /// Inject an ANR-style UI freeze: in `[from, until)` the tree an
+    /// observer parses stops updating (the app's internal state still
+    /// advances), and draws land no earlier than `until`.
+    pub fn add_freeze(&mut self, from: SimTime, until: SimTime) {
+        self.freezes.push((from, until));
+    }
+
+    /// Inject a slow-draw window: draw delays in `[from, until)` are
+    /// multiplied by `factor`.
+    pub fn add_slow_draw(&mut self, from: SimTime, until: SimTime, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "slow-draw factor must be >= 1, got {factor}"
+        );
+        self.slow_draws.push((from, until, factor));
+    }
+
+    fn freeze_until(&self, now: SimTime) -> Option<SimTime> {
+        self.freezes
+            .iter()
+            .filter(|(f, u)| *f <= now && now < *u)
+            .map(|(_, u)| *u)
+            .max()
+    }
+
+    /// Bring the frozen-view bookkeeping up to `now`: thaw an expired
+    /// freeze, capture the visible tree when a window is entered.
+    fn sync_freeze(&mut self, now: SimTime) {
+        if let Some((until, _, _)) = &self.frozen {
+            if now >= *until {
+                self.frozen = None;
+            }
+        }
+        if self.frozen.is_none() {
+            if let Some(until) = self.freeze_until(now) {
+                self.frozen = Some((until, self.root.clone(), self.revision));
+            }
+        }
+    }
+
+    /// What an instrumentation reader sees at `now`: a deep copy of the
+    /// layout tree plus its revision. During a freeze window both are
+    /// pinned to their values at freeze start.
+    pub fn observe(&mut self, now: SimTime) -> (View, u64) {
+        self.sync_freeze(now);
+        match &self.frozen {
+            Some((_, view, rev)) => (view.clone(), *rev),
+            None => (self.root.clone(), self.revision),
         }
     }
 
@@ -213,9 +282,25 @@ impl UiTree {
     /// Apply a labelled mutation at `now`. The layout changes immediately;
     /// the screen catches up one draw delay later, which the camera records.
     pub fn mutate(&mut self, now: SimTime, label: &str, f: impl FnOnce(&mut View)) {
+        // Capture the pre-mutation tree if a freeze window covers `now`:
+        // observers keep seeing that snapshot until the window closes.
+        self.sync_freeze(now);
         f(&mut self.root);
-        let delay = self.rng.jittered(self.draw_delay, self.draw_jitter);
-        let drawn = (now + delay).max(self.last_draw);
+        self.revision += 1;
+        let mut delay = self.rng.jittered(self.draw_delay, self.draw_jitter);
+        if let Some(factor) = self
+            .slow_draws
+            .iter()
+            .filter(|(f0, u, _)| *f0 <= now && now < *u)
+            .map(|(_, _, k)| *k)
+            .reduce(f64::max)
+        {
+            delay = delay.mul_f64(factor);
+        }
+        let mut drawn = (now + delay).max(self.last_draw);
+        if let Some((until, _, _)) = &self.frozen {
+            drawn = drawn.max(*until);
+        }
         self.last_draw = drawn;
         self.camera.push(
             drawn,
@@ -354,5 +439,60 @@ mod tests {
         ui.set_text(SimTime::ZERO, "composer", "changed");
         assert_eq!(snap.find("composer").unwrap().text, "");
         assert_eq!(ui.root().find("composer").unwrap().text, "changed");
+    }
+
+    #[test]
+    fn freeze_pins_the_observed_tree_and_revision() {
+        let mut ui = UiTree::new(tree(), DetRng::seed_from_u64(5));
+        ui.add_freeze(SimTime::from_secs(1), SimTime::from_secs(3));
+        ui.set_text(SimTime::ZERO, "composer", "before");
+        let (_, rev0) = ui.observe(SimTime::from_millis(500));
+        // Mutations inside the window apply to the live tree but the
+        // observer keeps seeing the pre-freeze snapshot + revision.
+        ui.set_text(SimTime::from_millis(1500), "composer", "during");
+        ui.set_text(SimTime::from_millis(2000), "composer", "during2");
+        let (view, rev) = ui.observe(SimTime::from_millis(2500));
+        assert_eq!(view.find("composer").unwrap().text, "before");
+        assert_eq!(rev, rev0);
+        // After the window the live tree (and its revision) reappears.
+        let (view, rev) = ui.observe(SimTime::from_secs(3));
+        assert_eq!(view.find("composer").unwrap().text, "during2");
+        assert!(rev > rev0);
+        // Draws deferred past the freeze end.
+        let last = ui.camera.iter().map(|(at, _)| at).max().unwrap();
+        assert!(last >= SimTime::from_secs(3), "draw at {last}");
+    }
+
+    #[test]
+    fn slow_draw_window_stretches_draw_delay() {
+        let mut ui = UiTree::new(tree(), DetRng::seed_from_u64(6));
+        ui.add_slow_draw(SimTime::from_secs(1), SimTime::from_secs(2), 20.0);
+        ui.set_text(SimTime::ZERO, "composer", "fast");
+        ui.set_text(SimTime::from_millis(1100), "composer", "slow");
+        let lags: Vec<SimDuration> = ui
+            .camera
+            .iter()
+            .map(|(at, ev)| at.saturating_since(ev.changed_at))
+            .collect();
+        assert!(
+            lags[0] < SimDuration::from_millis(60),
+            "fast lag {:?}",
+            lags
+        );
+        assert!(
+            lags[1] > SimDuration::from_millis(100),
+            "slow lag {:?}",
+            lags
+        );
+    }
+
+    #[test]
+    fn revision_tracks_mutations() {
+        let mut ui = UiTree::new(tree(), DetRng::seed_from_u64(7));
+        let (_, r0) = ui.observe(SimTime::ZERO);
+        ui.set_text(SimTime::ZERO, "composer", "x");
+        ui.set_visible(SimTime::ZERO, "feed_progress", true);
+        let (_, r1) = ui.observe(SimTime::ZERO);
+        assert_eq!(r1, r0 + 2);
     }
 }

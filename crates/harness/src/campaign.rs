@@ -5,6 +5,22 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use simcore::watchdog;
+use simcore::{SimDuration, SimTime};
+
+/// How a job's work is invoked.
+enum JobRun<T> {
+    /// Classic single-shot job: runs once, any panic is terminal.
+    Once(Box<dyn FnOnce() -> T + Send>),
+    /// Fault-aware job: the closure gets the attempt number (1-based) and
+    /// may fail softly with `Err(reason)`; the executor retries up to
+    /// `max_attempts` times before recording the job as faulted.
+    Fallible {
+        max_attempts: u32,
+        run: Box<dyn FnMut(u32) -> Result<T, String> + Send>,
+    },
+}
+
 /// One cell of a campaign grid: a labelled, seeded unit of work producing a
 /// result row of type `T`. The closure builds and runs its own simulation
 /// world — jobs share nothing, which is what makes the campaign
@@ -16,31 +32,49 @@ pub struct Job<T> {
     pub seed: u64,
     /// Simulated duration covered by this job, if known up front (seconds).
     pub sim_secs: Option<f64>,
-    run: Box<dyn FnOnce() -> T + Send>,
+    run: JobRun<T>,
 }
 
 /// How a job ended.
 #[derive(Debug)]
 pub enum Outcome<T> {
-    /// The job ran to completion and produced a row.
+    /// The job ran to completion on the first attempt and produced a row.
     Ok(T),
-    /// The job panicked; the payload is the panic message. A panicking job
-    /// is reported, not propagated — the rest of the campaign still runs.
+    /// The job produced a row, but only after one or more failed attempts
+    /// (a fault-injection campaign's "recovered" case).
+    Retried {
+        /// The row the successful attempt produced.
+        row: T,
+        /// Total attempts, including the successful one (≥ 2).
+        attempts: u32,
+    },
+    /// Every attempt failed softly (an `Err` from a fallible job, or a
+    /// sim-watchdog trip): the job is recorded — with the last failure
+    /// reason — instead of poisoning the campaign.
+    Faulted {
+        /// Reason from the last failed attempt.
+        reason: String,
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// The job panicked with a non-watchdog panic; the payload is the panic
+    /// message. A panicking job is reported, not propagated — the rest of
+    /// the campaign still runs.
     Panicked(String),
 }
 
 impl<T> Outcome<T> {
-    /// The row, if the job succeeded.
+    /// The row, if the job produced one (first try or after retries).
     pub fn ok(&self) -> Option<&T> {
         match self {
-            Outcome::Ok(v) => Some(v),
-            Outcome::Panicked(_) => None,
+            Outcome::Ok(v) | Outcome::Retried { row: v, .. } => Some(v),
+            Outcome::Faulted { .. } | Outcome::Panicked(_) => None,
         }
     }
 
-    /// Whether the job succeeded.
+    /// Whether the job produced a row.
     pub fn is_ok(&self) -> bool {
-        matches!(self, Outcome::Ok(_))
+        self.ok().is_some()
     }
 }
 
@@ -57,7 +91,7 @@ pub struct JobResult<T> {
     pub sim_secs: Option<f64>,
     /// Host wall-clock time the job took (nondeterministic).
     pub wall: Duration,
-    /// The row, or the panic message.
+    /// The row, or how the job failed.
     pub outcome: Outcome<T>,
 }
 
@@ -67,6 +101,8 @@ pub struct Campaign<T> {
     /// Campaign name; becomes the JSON report's file stem.
     pub name: String,
     jobs: Vec<Job<T>>,
+    sim_cap: Option<SimTime>,
+    event_budget: Option<u64>,
 }
 
 impl<T: Send> Campaign<T> {
@@ -75,7 +111,26 @@ impl<T: Send> Campaign<T> {
         Campaign {
             name: name.into(),
             jobs: Vec::new(),
+            sim_cap: None,
+            event_budget: None,
         }
+    }
+
+    /// Arm a per-job simulated-time watchdog: any attempt whose simulation
+    /// clock passes `cap` is aborted (via [`simcore::watchdog`]) and the
+    /// attempt counts as failed — a runaway job can never hang the
+    /// campaign. The cap is simulated time, so it trips deterministically.
+    pub fn sim_cap(&mut self, cap: SimDuration) -> &mut Self {
+        self.sim_cap = Some(SimTime::ZERO + cap);
+        self
+    }
+
+    /// Arm a per-job event budget: an attempt that ticks more than `budget`
+    /// times is aborted the same way as a sim-time cap. Catches livelocks
+    /// that spin without advancing the clock.
+    pub fn event_budget(&mut self, budget: u64) -> &mut Self {
+        self.event_budget = Some(budget);
+        self
     }
 
     /// Append a job. Jobs run in any order but their results always come
@@ -90,7 +145,7 @@ impl<T: Send> Campaign<T> {
             label: label.into(),
             seed,
             sim_secs: None,
-            run: Box::new(run),
+            run: JobRun::Once(Box::new(run)),
         });
         self
     }
@@ -108,7 +163,33 @@ impl<T: Send> Campaign<T> {
             label: label.into(),
             seed,
             sim_secs: Some(sim_secs),
-            run: Box::new(run),
+            run: JobRun::Once(Box::new(run)),
+        });
+        self
+    }
+
+    /// Append a fault-aware job: the closure receives the attempt number
+    /// (starting at 1) and may fail softly by returning `Err(reason)`. The
+    /// executor retries up to `max_attempts` times; success after a failure
+    /// becomes [`Outcome::Retried`], exhaustion becomes
+    /// [`Outcome::Faulted`]. Sim-watchdog trips count as soft failures;
+    /// any other panic is still terminal for the job.
+    pub fn fallible_job(
+        &mut self,
+        label: impl Into<String>,
+        seed: u64,
+        max_attempts: u32,
+        run: impl FnMut(u32) -> Result<T, String> + Send + 'static,
+    ) -> &mut Self {
+        assert!(max_attempts >= 1, "at least one attempt");
+        self.jobs.push(Job {
+            label: label.into(),
+            seed,
+            sim_secs: None,
+            run: JobRun::Fallible {
+                max_attempts,
+                run: Box::new(run),
+            },
         });
         self
     }
@@ -128,13 +209,20 @@ impl<T: Send> Campaign<T> {
     ///
     /// Workers pull the next unclaimed job index from a shared atomic
     /// cursor (work-sharing: a free worker always takes the next job, so an
-    /// uneven grid balances itself). Each job runs under `catch_unwind`; a
-    /// panic becomes [`Outcome::Panicked`] for that slot and the campaign
-    /// carries on. Because jobs are independent and slots are positional,
-    /// the returned sequence — and anything printed from it — is identical
-    /// for `workers = 1` and `workers = N`.
+    /// uneven grid balances itself). Each attempt runs under `catch_unwind`
+    /// with the campaign's sim watchdog armed; failures become
+    /// [`Outcome::Faulted`] / [`Outcome::Panicked`] for that slot and the
+    /// campaign carries on. Because jobs are independent, retries are
+    /// job-local, and slots are positional, the returned sequence — and
+    /// anything printed from it — is identical for `workers = 1` and
+    /// `workers = N`.
     pub fn run(self, workers: usize) -> CampaignRun<T> {
-        let Campaign { name, jobs } = self;
+        let Campaign {
+            name,
+            jobs,
+            sim_cap,
+            event_budget,
+        } = self;
         let n = jobs.len();
         let workers = workers.max(1).min(n.max(1));
         let started = Instant::now();
@@ -163,10 +251,7 @@ impl<T: Send> Campaign<T> {
                         .take()
                         .expect("job claimed twice");
                     let t0 = Instant::now();
-                    let outcome = match catch_unwind(AssertUnwindSafe(run)) {
-                        Ok(row) => Outcome::Ok(row),
-                        Err(payload) => Outcome::Panicked(panic_message(payload.as_ref())),
-                    };
+                    let outcome = execute(run, sim_cap, event_budget);
                     *done[idx].lock().unwrap() = Some(JobResult {
                         label,
                         seed,
@@ -186,6 +271,58 @@ impl<T: Send> Campaign<T> {
                 .into_iter()
                 .map(|slot| slot.into_inner().unwrap().expect("job never ran"))
                 .collect(),
+        }
+    }
+}
+
+/// One guarded attempt: watchdog armed for its duration, panics caught.
+fn attempt<T>(
+    run: impl FnOnce() -> T,
+    sim_cap: Option<SimTime>,
+    event_budget: Option<u64>,
+) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let _guard = watchdog::arm(sim_cap, event_budget);
+        run()
+    }))
+    .map_err(|payload| panic_message(payload.as_ref()))
+}
+
+fn execute<T>(run: JobRun<T>, sim_cap: Option<SimTime>, event_budget: Option<u64>) -> Outcome<T> {
+    match run {
+        JobRun::Once(f) => match attempt(f, sim_cap, event_budget) {
+            Ok(row) => Outcome::Ok(row),
+            // A watchdog trip is a *diagnosed* fault (the job overran its
+            // sim budget), not a bug in the job.
+            Err(msg) if watchdog::is_trip(&msg) => Outcome::Faulted {
+                reason: msg,
+                attempts: 1,
+            },
+            Err(msg) => Outcome::Panicked(msg),
+        },
+        JobRun::Fallible {
+            max_attempts,
+            mut run,
+        } => {
+            let mut last_reason = String::new();
+            for att in 1..=max_attempts {
+                match attempt(|| run(att), sim_cap, event_budget) {
+                    Ok(Ok(row)) => {
+                        return if att == 1 {
+                            Outcome::Ok(row)
+                        } else {
+                            Outcome::Retried { row, attempts: att }
+                        };
+                    }
+                    Ok(Err(reason)) => last_reason = reason,
+                    Err(msg) if watchdog::is_trip(&msg) => last_reason = msg,
+                    Err(msg) => return Outcome::Panicked(msg),
+                }
+            }
+            Outcome::Faulted {
+                reason: last_reason,
+                attempts: max_attempts,
+            }
         }
     }
 }
@@ -215,25 +352,33 @@ pub struct CampaignRun<T> {
 }
 
 impl<T> CampaignRun<T> {
-    /// Rows of the successful jobs, in job order.
+    /// Rows of the jobs that produced one (first try or retried), in job
+    /// order.
     pub fn ok_outputs(self) -> Vec<T> {
         self.jobs
             .into_iter()
             .filter_map(|j| match j.outcome {
-                Outcome::Ok(v) => Some(v),
-                Outcome::Panicked(_) => None,
+                Outcome::Ok(v) | Outcome::Retried { row: v, .. } => Some(v),
+                Outcome::Faulted { .. } | Outcome::Panicked(_) => None,
             })
             .collect()
     }
 
     /// Rows of all jobs in job order, resuming the first panic if any job
     /// failed. This restores pre-harness semantics for callers (tests,
-    /// library users) that treat a panic as a bug rather than a data point.
+    /// library users) that treat any failure as a bug rather than a data
+    /// point.
     pub fn into_outputs(self) -> Vec<T> {
         self.jobs
             .into_iter()
             .map(|j| match j.outcome {
-                Outcome::Ok(v) => v,
+                Outcome::Ok(v) | Outcome::Retried { row: v, .. } => v,
+                Outcome::Faulted { reason, attempts } => {
+                    panic!(
+                        "job {} faulted after {attempts} attempts: {reason}",
+                        j.label
+                    )
+                }
                 Outcome::Panicked(msg) => panic!("job {} panicked: {msg}", j.label),
             })
             .collect()
@@ -241,7 +386,26 @@ impl<T> CampaignRun<T> {
 
     /// Number of jobs whose outcome is [`Outcome::Panicked`].
     pub fn failed(&self) -> usize {
-        self.jobs.iter().filter(|j| !j.outcome.is_ok()).count()
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, Outcome::Panicked(_)))
+            .count()
+    }
+
+    /// Number of jobs whose outcome is [`Outcome::Faulted`].
+    pub fn faulted(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, Outcome::Faulted { .. }))
+            .count()
+    }
+
+    /// Number of jobs that recovered after at least one failed attempt.
+    pub fn retried(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, Outcome::Retried { .. }))
+            .count()
     }
 }
 
@@ -256,6 +420,7 @@ pub fn default_workers() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simcore::{run_until, Tick};
 
     #[test]
     fn results_come_back_in_job_order() {
@@ -325,5 +490,101 @@ mod tests {
         assert!(c.is_empty());
         let run = c.run(8);
         assert!(run.jobs.is_empty());
+    }
+
+    #[test]
+    fn fallible_job_retries_then_recovers() {
+        let mut c: Campaign<u32> = Campaign::new("retry");
+        c.fallible_job("flaky", 1, 3, |attempt| {
+            if attempt < 3 {
+                Err(format!("injected failure on attempt {attempt}"))
+            } else {
+                Ok(99)
+            }
+        });
+        c.fallible_job("steady", 2, 3, |_| Ok(7));
+        let run = c.run(2);
+        assert_eq!(run.retried(), 1);
+        assert!(matches!(
+            run.jobs[0].outcome,
+            Outcome::Retried {
+                row: 99,
+                attempts: 3
+            }
+        ));
+        assert!(matches!(run.jobs[1].outcome, Outcome::Ok(7)));
+        assert_eq!(run.ok_outputs(), vec![99, 7]);
+    }
+
+    #[test]
+    fn fallible_job_exhaustion_is_faulted_not_panicked() {
+        let mut c: Campaign<u32> = Campaign::new("exhaust");
+        c.fallible_job("doomed", 1, 2, |attempt| {
+            Err(format!("attempt {attempt} failed"))
+        });
+        c.job("fine", 2, || 5);
+        let run = c.run(1);
+        assert_eq!(run.faulted(), 1);
+        assert_eq!(run.failed(), 0);
+        assert!(matches!(
+            &run.jobs[0].outcome,
+            Outcome::Faulted { reason, attempts: 2 } if reason.contains("attempt 2 failed")
+        ));
+        assert_eq!(run.ok_outputs(), vec![5]);
+    }
+
+    /// A component that always has more work: without the watchdog this
+    /// job's `run_until` would grind through ~10^14 wakes.
+    struct Endless {
+        now: simcore::SimTime,
+    }
+
+    impl Tick for Endless {
+        fn tick(&mut self, now: simcore::SimTime) {
+            self.now = now;
+        }
+        fn next_wake(&self) -> Option<simcore::SimTime> {
+            Some(self.now + SimDuration::from_millis(1))
+        }
+    }
+
+    #[test]
+    fn sim_cap_turns_runaway_job_into_faulted_record() {
+        let mut c: Campaign<u64> = Campaign::new("cap");
+        c.sim_cap(SimDuration::from_secs(5));
+        c.job("runaway", 1, || {
+            let mut e = Endless {
+                now: simcore::SimTime::ZERO,
+            };
+            // Effectively forever in sim time.
+            run_until(&mut e, simcore::SimTime::from_secs(100_000_000));
+            0
+        });
+        c.job("bounded", 2, || 11);
+        let run = c.run(2);
+        assert_eq!(run.faulted(), 1);
+        assert!(matches!(
+            &run.jobs[0].outcome,
+            Outcome::Faulted { reason, attempts: 1 } if watchdog::is_trip(reason)
+        ));
+        assert_eq!(run.jobs[1].outcome.ok(), Some(&11));
+    }
+
+    #[test]
+    fn event_budget_catches_livelock_without_advancing_clock() {
+        let mut c: Campaign<u64> = Campaign::new("budget");
+        c.event_budget(10_000);
+        c.fallible_job("spinner", 1, 2, |_| {
+            let mut e = Endless {
+                now: simcore::SimTime::ZERO,
+            };
+            run_until(&mut e, simcore::SimTime::from_secs(100_000_000));
+            Ok(0)
+        });
+        let run = c.run(1);
+        assert!(matches!(
+            &run.jobs[0].outcome,
+            Outcome::Faulted { reason, attempts: 2 } if watchdog::is_trip(reason)
+        ));
     }
 }

@@ -46,6 +46,17 @@ pub fn report_json<T: Record>(run: &CampaignRun<T>) -> Json {
                 fields.push(("row".to_string(), Json::from(row.row())));
                 fields.push(("data".to_string(), row.to_json()));
             }
+            Outcome::Retried { row, attempts } => {
+                fields.push(("outcome".to_string(), Json::from("retried")));
+                fields.push(("attempts".to_string(), Json::from(*attempts as u64)));
+                fields.push(("row".to_string(), Json::from(row.row())));
+                fields.push(("data".to_string(), row.to_json()));
+            }
+            Outcome::Faulted { reason, attempts } => {
+                fields.push(("outcome".to_string(), Json::from("faulted")));
+                fields.push(("attempts".to_string(), Json::from(*attempts as u64)));
+                fields.push(("reason".to_string(), Json::from(reason.as_str())));
+            }
             Outcome::Panicked(msg) => {
                 fields.push(("outcome".to_string(), Json::from("panicked")));
                 fields.push(("panic".to_string(), Json::from(msg.as_str())));
@@ -58,7 +69,7 @@ pub fn report_json<T: Record>(run: &CampaignRun<T>) -> Json {
     let mut names: Vec<&'static str> = Vec::new();
     let mut sets: Vec<(Vec<Summary>, Vec<Cdf>)> = Vec::new();
     for j in &run.jobs {
-        if let Outcome::Ok(row) = &j.outcome {
+        if let Some(row) = j.outcome.ok() {
             for (name, samples) in row.sample_sets() {
                 let at = match names.iter().position(|n| *n == name) {
                     Some(i) => i,
@@ -109,6 +120,8 @@ pub fn report_json<T: Record>(run: &CampaignRun<T>) -> Json {
         ("wall_ms", Json::Num(run.wall.as_secs_f64() * 1e3)),
         ("jobs_total", Json::from(run.jobs.len())),
         ("jobs_failed", Json::from(run.failed())),
+        ("jobs_faulted", Json::from(run.faulted())),
+        ("jobs_retried", Json::from(run.retried())),
         ("jobs", Json::arr(jobs)),
         ("aggregates", Json::Obj(aggregates)),
     ])
@@ -175,6 +188,30 @@ mod tests {
         assert!(doc.contains("\"panic\": \"kaboom\""));
         // Failed job contributes no samples; aggregates still exact for the rest.
         assert!(doc.contains("\"n\": 4"));
+    }
+
+    #[test]
+    fn retried_and_faulted_jobs_land_in_report() {
+        let mut c: Campaign<Row> = Campaign::new("faults/test");
+        c.fallible_job("recovers", 1, 2, |attempt| {
+            if attempt == 1 {
+                Err("first try lost".to_string())
+            } else {
+                Ok(Row { value: 5.0 })
+            }
+        });
+        c.fallible_job("doomed", 2, 2, |_| Err("always lost".to_string()));
+        let run = c.run(1);
+        assert_eq!(run.retried(), 1);
+        assert_eq!(run.faulted(), 1);
+        let doc = report_json(&run).pretty();
+        assert!(doc.contains("\"outcome\": \"retried\""));
+        assert!(doc.contains("\"outcome\": \"faulted\""));
+        assert!(doc.contains("\"reason\": \"always lost\""));
+        assert!(doc.contains("\"jobs_faulted\": 1"));
+        assert!(doc.contains("\"jobs_retried\": 1"));
+        // The recovered row still feeds the aggregates: samples {5,6}.
+        assert!(doc.contains("\"n\": 2"));
     }
 
     #[test]

@@ -58,6 +58,14 @@ impl Host {
         }
     }
 
+    /// Move the ephemeral-port cursor to `base` (clamped to ≥ 40 000). A
+    /// freshly exec'd process must not reuse the ports of its predecessor:
+    /// the server may still hold half-open flow state for the old 4-tuples,
+    /// which would wedge the new connections.
+    pub fn set_ephemeral_base(&mut self, base: u16) {
+        self.next_ephemeral = base.max(40_000);
+    }
+
     fn next_packet_id(&mut self) -> u64 {
         self.next_packet_seq += 1;
         ((self.ip.0 as u64) << 32) | self.next_packet_seq

@@ -29,7 +29,7 @@ pub mod tcp;
 
 pub use addr::{FlowKey, IpAddr, SocketAddr};
 pub use host::{Host, SockId};
-pub use link::{LinkConfig, Pipe};
+pub use link::{GilbertElliott, LinkConfig, Pipe};
 pub use packet::{IpPacket, Proto, TcpFlags, TcpHeader, HEADER_BYTES, MSS};
 pub use pcap::{Capture, Direction, PacketRecord};
 pub use shaper::{Discipline, RateLimiter, ShaperConfig};

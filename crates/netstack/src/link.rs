@@ -37,6 +37,66 @@ impl LinkConfig {
             queue_bytes: 0,
         }
     }
+
+    /// Check every parameter is usable. A NaN or out-of-range `loss` would
+    /// silently skew `rng.chance` (NaN compares false, so `loss = NaN`
+    /// becomes "never lose" while `loss = 2.0` becomes "always lose"); we
+    /// reject such configs at construction instead.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.bandwidth_bps.is_finite() || self.bandwidth_bps <= 0.0 {
+            return Err(format!(
+                "LinkConfig.bandwidth_bps must be finite and positive, got {}",
+                self.bandwidth_bps
+            ));
+        }
+        if !self.jitter_frac.is_finite() || self.jitter_frac < 0.0 {
+            return Err(format!(
+                "LinkConfig.jitter_frac must be finite and non-negative, got {}",
+                self.jitter_frac
+            ));
+        }
+        if !self.loss.is_finite() || !(0.0..=1.0).contains(&self.loss) {
+            return Err(format!(
+                "LinkConfig.loss must be a probability in [0, 1], got {}",
+                self.loss
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Two-state Gilbert–Elliott burst-loss model: a good state with low loss
+/// and a bad state with high loss, with per-packet transition
+/// probabilities. Mean bad-burst length is `1 / bad_to_good` packets.
+#[derive(Debug, Clone, Copy)]
+pub struct GilbertElliott {
+    /// P(good → bad) evaluated per packet while in the good state.
+    pub good_to_bad: f64,
+    /// P(bad → good) evaluated per packet while in the bad state.
+    pub bad_to_good: f64,
+    /// Loss probability in the good state.
+    pub loss_good: f64,
+    /// Loss probability in the bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// Check every probability is a finite value in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("good_to_bad", self.good_to_bad),
+            ("bad_to_good", self.bad_to_good),
+            ("loss_good", self.loss_good),
+            ("loss_bad", self.loss_bad),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!(
+                    "GilbertElliott.{name} must be a probability in [0, 1], got {p}"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Delivery counters.
@@ -50,6 +110,42 @@ pub struct PipeStats {
     pub lost: u64,
     /// Packets dropped because the transmit queue was full.
     pub overflowed: u64,
+    /// Packets dropped by an injected outage window.
+    pub outage_dropped: u64,
+}
+
+/// Injected fault schedule for one pipe. All windows are closed-open
+/// `[from, until)` intervals in sim time; the schedule is consulted only at
+/// `send` time, so it adds no wakes and cannot perturb fault-free runs.
+#[derive(Default)]
+struct PipeFaults {
+    /// Total link outages: every packet offered inside a window is dropped.
+    outages: Vec<(SimTime, SimTime)>,
+    /// Latency spikes: extra propagation delay inside the window.
+    spikes: Vec<(SimTime, SimTime, SimDuration)>,
+    /// Burst loss: Gilbert–Elliott replaces the i.i.d. `loss` inside the
+    /// window. The channel state only evolves while the window is active.
+    burst: Option<(SimTime, SimTime, GilbertElliott)>,
+    burst_bad: bool,
+}
+
+impl PipeFaults {
+    fn in_outage(&self, now: SimTime) -> bool {
+        self.outages.iter().any(|(f, u)| *f <= now && now < *u)
+    }
+
+    fn spike_extra(&self, now: SimTime) -> SimDuration {
+        self.spikes
+            .iter()
+            .filter(|(f, u, _)| *f <= now && now < *u)
+            .map(|(_, _, d)| *d)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.outages.is_empty() && self.spikes.is_empty() && self.burst.is_none()
+    }
 }
 
 /// One direction of a link.
@@ -61,21 +157,86 @@ pub struct Pipe {
     last_arrival: SimTime,
     inflight: EventQueue<IpPacket>,
     rng: DetRng,
+    faults: PipeFaults,
     /// Delivery counters.
     pub stats: PipeStats,
 }
 
 impl Pipe {
     /// New pipe with the given parameters and RNG stream.
+    ///
+    /// # Panics
+    /// When `cfg` fails [`LinkConfig::validate`] — a NaN or out-of-range
+    /// parameter would otherwise silently misbehave in `rng.chance`.
     pub fn new(cfg: LinkConfig, rng: DetRng) -> Pipe {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid LinkConfig: {e}");
+        }
         Pipe {
             cfg,
             tx_free_at: SimTime::ZERO,
             last_arrival: SimTime::ZERO,
             inflight: EventQueue::new(),
             rng,
+            faults: PipeFaults::default(),
             stats: PipeStats::default(),
         }
+    }
+
+    /// Inject a total outage: every packet offered in `[from, until)` is
+    /// dropped (the link is down; TCP recovers by retransmission).
+    pub fn add_outage(&mut self, from: SimTime, until: SimTime) {
+        self.faults.outages.push((from, until));
+    }
+
+    /// Inject a latency spike: packets offered in `[from, until)` see
+    /// `extra` additional propagation delay. Overlapping spikes take the
+    /// maximum, not the sum.
+    pub fn add_latency_spike(&mut self, from: SimTime, until: SimTime, extra: SimDuration) {
+        self.faults.spikes.push((from, until, extra));
+    }
+
+    /// Replace the i.i.d. loss with a Gilbert–Elliott burst channel inside
+    /// `[from, until)`. Only one burst window per pipe; the last call wins.
+    ///
+    /// # Panics
+    /// When `model` fails [`GilbertElliott::validate`].
+    pub fn set_burst_loss(&mut self, from: SimTime, until: SimTime, model: GilbertElliott) {
+        if let Err(e) = model.validate() {
+            panic!("invalid GilbertElliott model: {e}");
+        }
+        self.faults.burst = Some((from, until, model));
+        self.faults.burst_bad = false;
+    }
+
+    /// True when any fault is scheduled on this pipe.
+    pub fn has_faults(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// Per-packet loss decision: the Gilbert–Elliott channel when inside
+    /// its window, the configured i.i.d. loss otherwise.
+    fn loss_roll(&mut self, now: SimTime) -> bool {
+        if let Some((from, until, ge)) = self.faults.burst {
+            if from <= now && now < until {
+                let loss = if self.faults.burst_bad {
+                    ge.loss_bad
+                } else {
+                    ge.loss_good
+                };
+                let lost = loss > 0.0 && self.rng.chance(loss);
+                let flip = if self.faults.burst_bad {
+                    ge.bad_to_good
+                } else {
+                    ge.good_to_bad
+                };
+                if flip > 0.0 && self.rng.chance(flip) {
+                    self.faults.burst_bad = !self.faults.burst_bad;
+                }
+                return lost;
+            }
+        }
+        self.cfg.loss > 0.0 && self.rng.chance(self.cfg.loss)
     }
 
     /// Current transmit backlog expressed in bytes.
@@ -87,13 +248,17 @@ impl Pipe {
     /// Offer a packet for transmission at `now`.
     pub fn send(&mut self, pkt: IpPacket, now: SimTime) {
         self.stats.offered += 1;
+        if self.faults.in_outage(now) {
+            self.stats.outage_dropped += 1;
+            return;
+        }
         if self.cfg.queue_bytes > 0
             && self.backlog_bytes(now) + pkt.wire_len() as u64 > self.cfg.queue_bytes
         {
             self.stats.overflowed += 1;
             return;
         }
-        if self.cfg.loss > 0.0 && self.rng.chance(self.cfg.loss) {
+        if self.loss_roll(now) {
             self.stats.lost += 1;
             // Loss still consumes air time on a real link; modelling it as
             // pre-queue loss keeps the serializer conservative and simple.
@@ -102,9 +267,9 @@ impl Pipe {
         let start = now.max(self.tx_free_at);
         let tx = SimDuration::from_secs_f64(pkt.wire_len() as f64 * 8.0 / self.cfg.bandwidth_bps);
         self.tx_free_at = start + tx;
-        let mut latency = self.cfg.latency;
+        let mut latency = self.cfg.latency + self.faults.spike_extra(now);
         if self.cfg.jitter_frac > 0.0 {
-            latency = self.rng.jittered(self.cfg.latency, self.cfg.jitter_frac);
+            latency = self.rng.jittered(latency, self.cfg.jitter_frac);
         }
         let arrival = (self.tx_free_at + latency).max(self.last_arrival);
         self.last_arrival = arrival;
@@ -231,6 +396,125 @@ mod tests {
         assert_eq!(delivered.len(), 200);
         let ids: Vec<u64> = delivered.iter().map(|p| p.id).collect();
         assert!(ids.windows(2).all(|w| w[0] < w[1]), "reordered: {ids:?}");
+    }
+
+    #[test]
+    fn nan_and_out_of_range_configs_are_rejected() {
+        let mut cfg = LinkConfig::simple(1e6, SimDuration::from_millis(10));
+        assert!(cfg.validate().is_ok());
+        cfg.loss = f64::NAN;
+        assert!(cfg.validate().unwrap_err().contains("loss"));
+        cfg.loss = 1.5;
+        assert!(cfg.validate().unwrap_err().contains("loss"));
+        cfg.loss = -0.1;
+        assert!(cfg.validate().unwrap_err().contains("loss"));
+        cfg.loss = 0.0;
+        cfg.jitter_frac = f64::NAN;
+        assert!(cfg.validate().unwrap_err().contains("jitter"));
+        cfg.jitter_frac = 0.0;
+        cfg.bandwidth_bps = 0.0;
+        assert!(cfg.validate().unwrap_err().contains("bandwidth"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid LinkConfig")]
+    fn pipe_construction_panics_on_nan_loss() {
+        let mut cfg = LinkConfig::simple(1e6, SimDuration::from_millis(10));
+        cfg.loss = f64::NAN;
+        Pipe::new(cfg, rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GilbertElliott")]
+    fn burst_model_rejects_bad_probabilities() {
+        let cfg = LinkConfig::simple(1e6, SimDuration::from_millis(10));
+        let mut p = Pipe::new(cfg, rng());
+        p.set_burst_loss(
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            GilbertElliott {
+                good_to_bad: 2.0,
+                bad_to_good: 0.5,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+        );
+    }
+
+    #[test]
+    fn outage_window_drops_everything_inside_it() {
+        let cfg = LinkConfig::simple(1e9, SimDuration::ZERO);
+        let mut p = Pipe::new(cfg, rng());
+        p.add_outage(SimTime::from_secs(1), SimTime::from_secs(2));
+        p.send(pkt(1, 100), SimTime::ZERO); // before: passes
+        p.send(pkt(2, 100), SimTime::from_millis(1500)); // inside: dropped
+        p.send(pkt(3, 100), SimTime::from_secs(2)); // at close: passes
+        assert_eq!(p.stats.outage_dropped, 1);
+        let ids: Vec<u64> = p
+            .deliver(SimTime::from_secs(10))
+            .iter()
+            .map(|q| q.id)
+            .collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn latency_spike_delays_packets_inside_the_window() {
+        let cfg = LinkConfig::simple(1e9, SimDuration::from_millis(10));
+        let mut p = Pipe::new(cfg, rng());
+        p.add_latency_spike(
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+            SimDuration::from_millis(500),
+        );
+        p.send(pkt(1, 100), SimTime::from_millis(1500));
+        let wake = p.next_wake().unwrap();
+        assert!(wake >= SimTime::from_millis(2010), "arrival {wake}");
+    }
+
+    #[test]
+    fn burst_loss_clusters_drops() {
+        // Inside the window the GE channel loses everything in the bad
+        // state and nothing in the good state, so drops come in runs.
+        let cfg = LinkConfig::simple(1e9, SimDuration::ZERO);
+        let mut p = Pipe::new(cfg, rng());
+        p.set_burst_loss(
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            GilbertElliott {
+                good_to_bad: 0.05,
+                bad_to_good: 0.2,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+        );
+        let n = 2000;
+        for i in 0..n {
+            p.send(pkt(i, 100), SimTime::ZERO);
+        }
+        let lost = p.stats.lost;
+        assert!(lost > 100, "expected bursts of loss, lost only {lost}");
+        // Mean run length of delivered ids tells us losses cluster: with
+        // i.i.d. loss at the same rate, gaps of >=3 consecutive drops
+        // would be rare; GE with mean burst 5 produces many.
+        let delivered: Vec<u64> = p
+            .deliver(SimTime::from_secs(10))
+            .iter()
+            .map(|q| q.id)
+            .collect();
+        let mut long_gaps = 0;
+        for w in delivered.windows(2) {
+            if w[1] - w[0] > 3 {
+                long_gaps += 1;
+            }
+        }
+        assert!(long_gaps > 10, "losses not bursty: {long_gaps} long gaps");
+        // Outside the window the configured loss (zero) applies again.
+        let before = p.stats.lost;
+        for i in 0..200 {
+            p.send(pkt(n + i, 100), SimTime::from_secs(2));
+        }
+        assert_eq!(p.stats.lost, before);
     }
 
     #[test]

@@ -147,6 +147,64 @@ impl CellBearer {
         self.rrc.state()
     }
 
+    /// The radio technology currently attached.
+    pub fn tech(&self) -> RadioTech {
+        self.cfg.tech()
+    }
+
+    /// Forced inter-RAT handover: re-attach under `new` (the other
+    /// technology's bearer parameters) at `now`. The RRC machine maps its
+    /// state across (connected stays connected, idle stays idle, a pending
+    /// promotion is lost) and keeps its transition log; both RLC channels
+    /// are rebuilt, so PDUs and packets in flight over the air are lost —
+    /// handover loss, which TCP recovers by retransmission. The core pipes
+    /// and the QxDM logger survive the switch.
+    pub fn switch_tech(&mut self, new: BearerConfig, rng: &mut DetRng, now: SimTime) {
+        self.rrc.switch_tech(new.rrc.clone(), now);
+        self.ul = RlcChannel::new(new.rlc_ul.clone(), Direction::Uplink, rng.fork(6));
+        self.dl = RlcChannel::new(new.rlc_dl.clone(), Direction::Downlink, rng.fork(7));
+        self.limiter_dl = new.limiter_dl.clone().map(RateLimiter::new);
+        self.limiter_ul = new.limiter_ul.clone().map(RateLimiter::new);
+        self.cfg = new;
+    }
+
+    /// Inject RRC promotion failures (see [`RrcMachine::inject_promotion_failures`]).
+    pub fn inject_promotion_failures(&mut self, count: u32, penalty: SimDuration) {
+        self.rrc.inject_promotion_failures(count, penalty);
+    }
+
+    /// Inject an RLC retransmission storm on both directions (see
+    /// [`RlcChannel::inject_storm`]).
+    pub fn inject_rlc_storm(&mut self, from: SimTime, until: SimTime, loss: f64) {
+        self.ul.inject_storm(from, until, loss);
+        self.dl.inject_storm(from, until, loss);
+    }
+
+    /// Inject a total outage on the core path (both directions) in
+    /// `[from, until)`.
+    pub fn add_outage(&mut self, from: SimTime, until: SimTime) {
+        self.to_internet.add_outage(from, until);
+        self.from_internet.add_outage(from, until);
+    }
+
+    /// Inject a core-path latency spike (both directions) in `[from, until)`.
+    pub fn add_latency_spike(&mut self, from: SimTime, until: SimTime, extra: SimDuration) {
+        self.to_internet.add_latency_spike(from, until, extra);
+        self.from_internet.add_latency_spike(from, until, extra);
+    }
+
+    /// Inject Gilbert–Elliott burst loss on the core path (both
+    /// directions) in `[from, until)`.
+    pub fn set_burst_loss(
+        &mut self,
+        from: SimTime,
+        until: SimTime,
+        model: netstack::GilbertElliott,
+    ) {
+        self.to_internet.set_burst_loss(from, until, model);
+        self.from_internet.set_burst_loss(from, until, model);
+    }
+
     /// Phone → network.
     pub fn send_uplink(&mut self, pkt: IpPacket, now: SimTime) {
         self.ul.enqueue(pkt, now);
@@ -438,6 +496,92 @@ mod tests {
         // allowance plus refill gets through.
         assert!(n_thr < n_free, "throttled delivered {n_thr}");
         assert!(throttled.limiter_dl_stats().unwrap().dropped > 0);
+    }
+
+    #[test]
+    fn rlc_storm_multiplies_retransmissions() {
+        let send_all = |storm: bool| -> u64 {
+            let mut rng = DetRng::seed_from_u64(7);
+            let mut b = CellBearer::new(BearerConfig::umts_3g(), &mut rng);
+            if storm {
+                b.inject_rlc_storm(SimTime::ZERO, SimTime::from_secs(60), 0.4);
+            }
+            for i in 0..20 {
+                b.send_uplink(pkt(i, 1000), SimTime::ZERO);
+            }
+            run(&mut b, SimTime::from_secs(60));
+            b.pdu_counts().0
+        };
+        let clean = send_all(false);
+        let stormy = send_all(true);
+        assert!(
+            stormy as f64 > clean as f64 * 1.3,
+            "storm {stormy} vs clean {clean}"
+        );
+    }
+
+    #[test]
+    fn tech_switch_mid_flow_carries_traffic_on_the_new_rat() {
+        let mut rng = DetRng::seed_from_u64(8);
+        let mut b = CellBearer::new(BearerConfig::lte(), &mut rng);
+        b.send_uplink(pkt(1, 1000), SimTime::ZERO);
+        let out = run(&mut b, SimTime::from_secs(2));
+        assert_eq!(out.len(), 1, "first packet crosses on LTE");
+        let mut srng = DetRng::seed_from_u64(9);
+        b.switch_tech(BearerConfig::umts_3g(), &mut srng, SimTime::from_secs(2));
+        assert_eq!(b.tech(), RadioTech::Umts3g);
+        // The bearer is still usable after the switch: more uplink data
+        // crosses under the 3G machine.
+        b.send_uplink(pkt(2, 1000), SimTime::from_secs(2));
+        let mut now = SimTime::from_secs(2);
+        let mut crossed = Vec::new();
+        for _ in 0..100_000 {
+            b.tick(now);
+            crossed.extend(b.recv_for_internet(now));
+            match b.next_wake() {
+                Some(w) if w <= now => continue,
+                Some(w) if w <= SimTime::from_secs(30) => now = w,
+                _ => break,
+            }
+        }
+        assert_eq!(crossed.len(), 1);
+        // The inter-RAT jump is visible in the RRC log.
+        let jumps: Vec<_> = b
+            .qxdm
+            .log
+            .rrc
+            .iter()
+            .filter(|(_, tr)| {
+                let lte = |s: RrcState| {
+                    matches!(
+                        s,
+                        RrcState::LteContinuous
+                            | RrcState::LteShortDrx
+                            | RrcState::LteLongDrx
+                            | RrcState::LteIdle
+                    )
+                };
+                lte(tr.from) && !lte(tr.to)
+            })
+            .collect();
+        assert!(!jumps.is_empty(), "no inter-RAT transition logged");
+    }
+
+    #[test]
+    fn promotion_failures_stretch_first_delivery() {
+        let deliver_at = |failures: u32| -> SimTime {
+            let mut rng = DetRng::seed_from_u64(10);
+            let mut b = CellBearer::new(BearerConfig::umts_3g(), &mut rng);
+            b.inject_promotion_failures(failures, SimDuration::from_millis(1500));
+            b.send_uplink(pkt(1, 1000), SimTime::ZERO);
+            run(&mut b, SimTime::from_secs(30))[0].0
+        };
+        let clean = deliver_at(0);
+        let faulty = deliver_at(2);
+        assert!(
+            faulty >= clean + SimDuration::from_secs(3) - SimDuration::from_millis(1),
+            "clean {clean} faulty {faulty}"
+        );
     }
 
     #[test]

@@ -176,6 +176,9 @@ pub struct RlcChannel {
     status_events: EventQueue<StatusEvent>,
     exits: EventQueue<IpPacket>,
     last_exit_at: SimTime,
+    /// Injected retransmission storm: inside `[from, until)` the effective
+    /// PDU loss is `storm_loss` instead of `cfg.pdu_loss`.
+    storm: Option<(SimTime, SimTime, f64)>,
     /// Total PDU transmissions (including retransmissions).
     pub pdus_transmitted: u64,
 }
@@ -196,7 +199,31 @@ impl RlcChannel {
             status_events: EventQueue::new(),
             exits: EventQueue::new(),
             last_exit_at: SimTime::ZERO,
+            storm: None,
             pdus_transmitted: 0,
+        }
+    }
+
+    /// Inject a retransmission storm: PDUs transmitted in `[from, until)`
+    /// are lost with probability `loss` (typically far above
+    /// `cfg.pdu_loss`), driving repeated RLC retransmissions — the §6.2
+    /// "RLC retransmission dominates" pathology, on demand.
+    ///
+    /// # Panics
+    /// When `loss` is not a probability in `[0, 1]`.
+    pub fn inject_storm(&mut self, from: SimTime, until: SimTime, loss: f64) {
+        assert!(
+            loss.is_finite() && (0.0..=1.0).contains(&loss),
+            "storm loss must be a probability in [0, 1], got {loss}"
+        );
+        self.storm = Some((from, until, loss));
+    }
+
+    /// The PDU-loss probability in effect at `now`.
+    fn pdu_loss_at(&self, now: SimTime) -> f64 {
+        match self.storm {
+            Some((from, until, loss)) if from <= now && now < until => loss,
+            _ => self.cfg.pdu_loss,
         }
     }
 
@@ -329,7 +356,7 @@ impl RlcChannel {
             self.pdus_since_poll = 0;
         }
 
-        let lost = self.rng.chance(self.cfg.pdu_loss);
+        let lost = self.rng.chance(self.pdu_loss_at(start));
         self.pdu_events.push(
             done,
             PduEvent {

@@ -170,6 +170,12 @@ pub struct RrcMachine {
     promotion: Option<(RrcState, SimTime)>,
     last_activity: SimTime,
     transitions: Vec<(SimTime, RrcTransition)>,
+    /// Injected fault: the next `promo_failures` promotions fail at their
+    /// completion instant and restart after `promo_penalty` (an RACH
+    /// failure / RRC connection reject with retry, as observed in the wild
+    /// by control-plane studies).
+    promo_failures: u32,
+    promo_penalty: SimDuration,
 }
 
 impl RrcMachine {
@@ -185,7 +191,45 @@ impl RrcMachine {
             promotion: None,
             last_activity: SimTime::ZERO,
             transitions: Vec::new(),
+            promo_failures: 0,
+            promo_penalty: SimDuration::ZERO,
         }
+    }
+
+    /// Inject `count` promotion failures: each of the next `count`
+    /// promotions, instead of completing, restarts and completes `penalty`
+    /// later. Deterministic — no randomness involved.
+    pub fn inject_promotion_failures(&mut self, count: u32, penalty: SimDuration) {
+        self.promo_failures = count;
+        self.promo_penalty = penalty;
+    }
+
+    /// Switch radio technology mid-flow (a forced 3G↔LTE handover). A
+    /// transmit-capable state maps to the new technology's full-rate
+    /// connected state (the handover carries the bearer across); a
+    /// low-power or mid-promotion state maps to the new idle state and any
+    /// pending promotion is lost. The transition is recorded like any
+    /// other, so the QxDM log shows the inter-RAT jump.
+    pub fn switch_tech(&mut self, cfg: RrcConfig, now: SimTime) {
+        if cfg.tech() == self.tech() {
+            self.cfg = cfg;
+            return;
+        }
+        let to = if self.promotion.is_none() && self.state.can_transmit() {
+            match cfg.tech() {
+                RadioTech::Umts3g => RrcState::Dch,
+                RadioTech::Lte => RrcState::LteContinuous,
+            }
+        } else {
+            match cfg.tech() {
+                RadioTech::Umts3g => RrcState::Pch,
+                RadioTech::Lte => RrcState::LteIdle,
+            }
+        };
+        self.promotion = None;
+        self.cfg = cfg;
+        self.set_state(to, now);
+        self.last_activity = now;
     }
 
     /// The technology.
@@ -258,12 +302,20 @@ impl RrcMachine {
 
     /// Advance timers: complete due promotions, fire due demotions.
     pub fn tick(&mut self, now: SimTime) {
-        if let Some((target, at)) = self.promotion {
-            if now >= at {
-                self.promotion = None;
-                self.set_state(target, at);
-                self.last_activity = at;
+        while let Some((target, at)) = self.promotion {
+            if now < at {
+                break;
             }
+            if self.promo_failures > 0 {
+                // Injected failure: the promotion attempt is rejected at
+                // its completion instant and restarts after the penalty.
+                self.promo_failures -= 1;
+                self.promotion = Some((target, at + self.promo_penalty));
+                continue;
+            }
+            self.promotion = None;
+            self.set_state(target, at);
+            self.last_activity = at;
         }
         // Demotions (may cascade through several states if `tick` is called
         // after a long idle gap).
@@ -464,6 +516,59 @@ mod tests {
         m.on_data(100, t(600));
         assert_eq!(m.state(), RrcState::LteContinuous);
         assert!(m.can_transmit());
+    }
+
+    #[test]
+    fn promotion_failure_delays_completion_by_the_penalty() {
+        let mut m = RrcMachine::new(RrcConfig::Umts3g(Rrc3gConfig::default()));
+        m.inject_promotion_failures(2, SimDuration::from_millis(800));
+        m.on_data(10_000, t(0)); // PCH→DCH due at 2000 ms
+        m.tick(t(2000));
+        assert!(m.promoting(), "first attempt must fail");
+        assert_eq!(m.next_wake(), Some(t(2800)));
+        m.tick(t(2800));
+        assert!(m.promoting(), "second attempt must fail");
+        m.tick(t(3600));
+        assert_eq!(m.state(), RrcState::Dch);
+        assert!(m.can_transmit());
+    }
+
+    #[test]
+    fn late_tick_consumes_all_promotion_failures() {
+        let mut m = RrcMachine::new(RrcConfig::Umts3g(Rrc3gConfig::default()));
+        m.inject_promotion_failures(3, SimDuration::from_millis(500));
+        m.on_data(10_000, t(0));
+        m.tick(t(4000)); // past every retry
+        assert_eq!(m.state(), RrcState::Dch);
+        // Completion is stamped at the deterministic retry instant, not at
+        // the observation time.
+        let trans = m.take_transitions();
+        assert_eq!(trans[0].0, t(3500));
+    }
+
+    #[test]
+    fn tech_switch_maps_connected_to_connected_and_idle_to_idle() {
+        // Connected 3G → LTE keeps the bearer up.
+        let mut m = RrcMachine::new(RrcConfig::Umts3g(Rrc3gConfig::default()));
+        m.on_data(10_000, t(0));
+        m.tick(t(2000));
+        assert_eq!(m.state(), RrcState::Dch);
+        m.switch_tech(RrcConfig::Lte(RrcLteConfig::default()), t(3000));
+        assert_eq!(m.state(), RrcState::LteContinuous);
+        assert!(m.can_transmit());
+        assert_eq!(m.tech(), RadioTech::Lte);
+
+        // Mid-promotion LTE → 3G loses the pending promotion.
+        let mut m = RrcMachine::new(RrcConfig::Lte(RrcLteConfig::default()));
+        m.on_data(100, t(0));
+        assert!(m.promoting());
+        m.switch_tech(RrcConfig::Umts3g(Rrc3gConfig::default()), t(100));
+        assert_eq!(m.state(), RrcState::Pch);
+        assert!(!m.promoting());
+        // Fresh data promotes under the new technology's timers.
+        m.on_data(10_000, t(200));
+        m.tick(t(2200));
+        assert_eq!(m.state(), RrcState::Dch);
     }
 
     #[test]

@@ -6,8 +6,8 @@ use netstack::pcap::Direction;
 use netstack::{IpAddr, IpPacket, Proto, SocketAddr, TcpFlags, TcpHeader};
 use proptest::prelude::*;
 use radio::rlc::{RlcChannel, RlcConfig};
-use radio::rrc::{Rrc3gConfig, RrcConfig, RrcMachine};
-use simcore::{DetRng, SimTime};
+use radio::rrc::{Rrc3gConfig, RrcConfig, RrcLteConfig, RrcMachine, RrcState};
+use simcore::{DetRng, SimDuration, SimTime};
 use std::collections::HashMap;
 
 fn pkt(id: u64, payload: u32) -> IpPacket {
@@ -128,6 +128,64 @@ proptest! {
                 prop_assert!(probe.can_transmit());
             }
         }
+    }
+
+    /// Under arbitrary interleavings of data arrivals, timer ticks,
+    /// injected promotion failures and forced tech switches, the machine
+    /// never claims it can transmit from a non-transmit state, and after
+    /// the dust settles it always reaches the resting low-power state with
+    /// no pending work.
+    #[test]
+    fn rrc_survives_arbitrary_op_interleavings(
+        start_lte in any::<bool>(),
+        ops in prop::collection::vec((0u8..4, 1u64..8_000, 1u32..100_000), 1..40),
+    ) {
+        let cfg = |lte: bool| {
+            if lte {
+                RrcConfig::Lte(RrcLteConfig::default())
+            } else {
+                RrcConfig::Umts3g(Rrc3gConfig::default())
+            }
+        };
+        let mut m = RrcMachine::new(cfg(start_lte));
+        let mut lte = start_lte;
+        let mut now = SimTime::ZERO;
+        for (kind, delta_ms, buffered) in &ops {
+            now = now + SimDuration::from_millis(*delta_ms);
+            match kind {
+                0 => m.on_data(*buffered, now),
+                1 => m.tick(now),
+                2 => {
+                    lte = !lte;
+                    m.switch_tech(cfg(lte), now);
+                }
+                _ => m.inject_promotion_failures(*buffered % 3, SimDuration::from_millis(500)),
+            }
+            // Invariant: transmit capability implies a transmit-capable
+            // state and no promotion in flight.
+            if m.can_transmit() {
+                prop_assert!(m.state().can_transmit(), "state {:?}", m.state());
+                prop_assert!(!m.promoting());
+            }
+            if m.promoting() {
+                prop_assert!(!m.can_transmit(), "transmit during promotion");
+            }
+        }
+        // Drive every pending timer: the machine must reach the resting
+        // state of whatever technology it ended on, then go quiet.
+        for _ in 0..64 {
+            match m.next_wake() {
+                Some(w) => {
+                    now = now.max(w);
+                    m.tick(now);
+                }
+                None => break,
+            }
+        }
+        prop_assert_eq!(m.next_wake(), None, "machine never settles");
+        let resting = if lte { RrcState::LteIdle } else { RrcState::Pch };
+        prop_assert_eq!(m.state(), resting);
+        prop_assert!(!m.can_transmit());
     }
 
     /// Demotion cascades always terminate in the low-power resting state,

@@ -5,7 +5,7 @@
 //!
 //! experiments:
 //!   table1 table2 table3 fig6 fig7 fig8 fig10 fig11 fig12 fig13
-//!   fig14 fig15 fig16 fig17 fig18 fig19 fig20 exp76 exp77 ablation all
+//!   fig14 fig15 fig16 fig17 fig18 fig19 fig20 exp76 exp77 ablation chaos all
 //! ```
 //!
 //! Every experiment runs as a `harness` campaign: a grid of independent
@@ -62,7 +62,7 @@ usage: repro [experiment] [--quick] [--jobs N] [--json DIR]
 
 experiments:
   table1 table2 table3 fig6 fig7 fig8 fig10 fig11 fig12 fig13
-  fig14 fig15 fig16 fig17 fig18 fig19 fig20 exp76 exp77 ablation all
+  fig14 fig15 fig16 fig17 fig18 fig19 fig20 exp76 exp77 ablation chaos all
 
 flags:
   --quick      reduced repetition counts (CI scale)
@@ -174,6 +174,20 @@ fn campaign_rows<T: Record + Send>(c: Campaign<T>, opts: &Opts, failed: &mut usi
         .into_iter()
         .filter_map(|j| match j.outcome {
             Outcome::Ok(row) => Some(row),
+            Outcome::Retried { row, attempts } => {
+                eprintln!(
+                    "repro: job {}/{} (seed {}) recovered after {attempts} attempts",
+                    run.name, j.label, j.seed
+                );
+                Some(row)
+            }
+            Outcome::Faulted { reason, attempts } => {
+                eprintln!(
+                    "repro: job {}/{} (seed {}) faulted after {attempts} attempts: {reason}",
+                    run.name, j.label, j.seed
+                );
+                None
+            }
             Outcome::Panicked(msg) => {
                 eprintln!(
                     "repro: job {}/{} (seed {}) panicked: {msg}",
@@ -320,6 +334,22 @@ fn run(name: &str, opts: &Opts) -> usize {
                 }
                 println!("{}", part.row());
             }
+        }
+        "chaos" => {
+            header(name, "Fault injection: QoE deltas + layer attribution");
+            let rows = campaign_rows(repro::chaos::campaign(SEED), opts, &mut failed);
+            let misses = rows
+                .iter()
+                .filter(|r| r.attribution_ok == Some(false))
+                .count();
+            let judged = rows.iter().filter(|r| r.attribution_ok.is_some()).count();
+            for r in &rows {
+                println!("{}", r.row());
+            }
+            println!(
+                "attribution: {}/{judged} fault cells on-layer",
+                judged - misses
+            );
         }
         "exp77" => {
             header(name, "RRC state machine design and page loads (§7.7)");

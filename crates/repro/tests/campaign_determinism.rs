@@ -16,6 +16,16 @@ fn fingerprint<T: Record>(run: &harness::CampaignRun<T>) -> Vec<(String, u64, St
         .map(|j| {
             let row = match &j.outcome {
                 Outcome::Ok(r) => format!("ok:{}\n{}", r.row(), r.to_json().pretty()),
+                Outcome::Retried { row, attempts } => {
+                    format!(
+                        "retried[{attempts}]:{}\n{}",
+                        row.row(),
+                        row.to_json().pretty()
+                    )
+                }
+                Outcome::Faulted { reason, attempts } => {
+                    format!("faulted[{attempts}]:{reason}")
+                }
                 Outcome::Panicked(msg) => format!("panicked:{msg}"),
             };
             (j.label.clone(), j.seed, format!("{:?}", j.sim_secs), row)

@@ -25,6 +25,7 @@ mod rng;
 mod runner;
 mod stats;
 mod time;
+pub mod watchdog;
 
 pub use log::{RecordLog, Stamped};
 pub use queue::EventQueue;

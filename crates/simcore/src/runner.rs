@@ -43,6 +43,7 @@ pub fn run_until<T: Tick>(root: &mut T, end: SimTime) -> SimTime {
         // Settle all work at the current instant.
         let mut settles = 0;
         while root.next_wake().is_some_and(|w| w <= now) {
+            crate::watchdog::observe(now);
             root.tick(now);
             settles += 1;
             assert!(

@@ -1,0 +1,114 @@
+//! Per-job simulation watchdog.
+//!
+//! A campaign job that never terminates in *sim* time (a component that
+//! keeps scheduling wakes forever, or a controller loop whose exit
+//! condition a fault made unreachable) would hang the whole campaign:
+//! wall-clock timeouts are useless because they are nondeterministic, and
+//! the settle-limit assert only catches same-instant livelocks.
+//!
+//! The watchdog is a thread-local budget — a sim-time cap and an event
+//! (tick) budget — armed by the harness around each job attempt. The
+//! simulation loop reports progress through [`observe`]; when a budget is
+//! exceeded the watchdog panics with the [`PANIC_PREFIX`] marker, which the
+//! harness recognises and classifies as a *faulted* job rather than a
+//! programming error. Because the trip decision depends only on sim time
+//! and tick counts, a tripped job trips at exactly the same point on every
+//! rerun and under any worker count.
+
+use crate::time::SimTime;
+use std::cell::Cell;
+
+/// Panic-message prefix for watchdog trips. The harness uses this to tell
+/// "job exceeded its fault budget" apart from genuine panics.
+pub const PANIC_PREFIX: &str = "sim-watchdog:";
+
+thread_local! {
+    static CAP: Cell<Option<SimTime>> = const { Cell::new(None) };
+    static BUDGET: Cell<Option<u64>> = const { Cell::new(None) };
+    static TICKS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// RAII guard for an armed watchdog; disarms on drop (including unwind).
+pub struct SimGuard {
+    _private: (),
+}
+
+impl Drop for SimGuard {
+    fn drop(&mut self) {
+        CAP.with(|c| c.set(None));
+        BUDGET.with(|b| b.set(None));
+        TICKS.with(|t| t.set(0));
+    }
+}
+
+/// Arm the watchdog on the current thread. `sim_cap` bounds how far the
+/// simulated clock may advance; `event_budget` bounds how many observed
+/// ticks may elapse. `None` leaves that dimension unbounded.
+pub fn arm(sim_cap: Option<SimTime>, event_budget: Option<u64>) -> SimGuard {
+    CAP.with(|c| c.set(sim_cap));
+    BUDGET.with(|b| b.set(event_budget));
+    TICKS.with(|t| t.set(0));
+    SimGuard { _private: () }
+}
+
+/// Report simulation progress. Panics with [`PANIC_PREFIX`] when an armed
+/// budget is exceeded; a no-op when the watchdog is disarmed.
+pub fn observe(now: SimTime) {
+    if let Some(cap) = CAP.with(|c| c.get()) {
+        if now > cap {
+            panic!("{PANIC_PREFIX} sim time {now} exceeded cap {cap}");
+        }
+    }
+    if let Some(budget) = BUDGET.with(|b| b.get()) {
+        let ticks = TICKS.with(|t| {
+            let n = t.get() + 1;
+            t.set(n);
+            n
+        });
+        if ticks > budget {
+            panic!("{PANIC_PREFIX} event budget {budget} exhausted at {now}");
+        }
+    }
+}
+
+/// True when `msg` is a watchdog trip message.
+pub fn is_trip(msg: &str) -> bool {
+    msg.starts_with(PANIC_PREFIX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn disarmed_watchdog_never_trips() {
+        for s in 0..10_000u64 {
+            observe(SimTime::from_secs(s));
+        }
+    }
+
+    #[test]
+    fn sim_cap_trips_past_the_cap_and_disarms_on_drop() {
+        let guard = arm(Some(SimTime::from_secs(5)), None);
+        observe(SimTime::from_secs(5)); // at the cap: fine
+        let err = catch_unwind(AssertUnwindSafe(|| observe(SimTime::from_secs(6))))
+            .expect_err("should trip");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(is_trip(msg), "unexpected message: {msg}");
+        drop(guard);
+        observe(SimTime::from_secs(100)); // disarmed again
+    }
+
+    #[test]
+    fn event_budget_trips_after_n_observations() {
+        let _guard = arm(None, Some(3));
+        for _ in 0..3 {
+            observe(SimTime::ZERO);
+        }
+        let err =
+            catch_unwind(AssertUnwindSafe(|| observe(SimTime::ZERO))).expect_err("should trip");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(is_trip(msg));
+    }
+}
