@@ -3,10 +3,12 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use netstack::pcap::Direction;
 use netstack::{IpAddr, IpPacket, Proto, SocketAddr, TcpConfig, TcpFlags, TcpHeader, TcpSocket};
-use qoe_doctor::analyze::crosslayer::long_jump_map;
+use qoe_doctor::analyze::crosslayer::{
+    long_jump_map, long_jump_map_with, net_latency_breakdown, reference, MapperOptions,
+};
 use radio::qxdm::{Qxdm, QxdmConfig};
 use radio::rlc::{RlcChannel, RlcConfig};
-use simcore::{DetRng, EventQueue, SimTime};
+use simcore::{DetRng, EventQueue, SimDuration, SimTime};
 
 fn addr(last: u8, port: u16) -> SocketAddr {
     SocketAddr::new(IpAddr::new(10, 0, 0, last), port)
@@ -24,6 +26,26 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut sum = 0u64;
             while let Some((_, v)) = q.pop() {
                 sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+    // Same-instant churn: many events land on few deadlines — the shape a
+    // busy link pipe produces. Drains via the batch pop.
+    g.bench_function("event_queue_same_time_churn_10k", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_micros(i % 16), i);
+            }
+            let mut sum = 0u64;
+            for t in 0..16u64 {
+                scratch.clear();
+                q.pop_due_batch(SimTime::from_micros(t), &mut scratch);
+                for (_, v) in scratch.drain(..) {
+                    sum = sum.wrapping_add(v);
+                }
             }
             sum
         })
@@ -117,21 +139,22 @@ fn bench_rlc_segmentation(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_long_jump_mapping(c: &mut Criterion) {
-    // Prepare a realistic log once; benchmark only the mapping walk.
+/// Run `n` packets through a 3G uplink RLC channel into a QxDM log with
+/// `record_loss`, returning the capture and the end of simulated time.
+fn mapping_fixture(n: u64, record_loss: f64) -> (Vec<(SimTime, IpPacket)>, Qxdm, SimTime) {
     let mut cfg = RlcConfig::umts_uplink();
     cfg.pdu_loss = 0.0;
     cfg.ota_jitter = 0.0;
     let mut ch = RlcChannel::new(cfg, Direction::Uplink, DetRng::seed_from_u64(2));
     let mut packets = Vec::new();
-    for i in 0..200u64 {
+    for i in 0..n {
         let pkt = bulk_packet(i, 200 + ((i * 37) % 1200) as u32);
         packets.push((SimTime::from_micros(i), pkt.clone()));
         ch.enqueue(pkt, SimTime::ZERO);
     }
     let mut qx = Qxdm::new(
         QxdmConfig {
-            ul_record_loss: 0.001,
+            ul_record_loss: record_loss,
             dl_record_loss: 0.0,
             log_pdus: true,
         },
@@ -143,7 +166,9 @@ fn bench_long_jump_mapping(c: &mut Criterion) {
         for (at, ev) in ch.take_pdu_events(now) {
             qx.observe_pdu(at, &ev);
         }
-        ch.take_status_events(now);
+        for (at, ev) in ch.take_status_events(now) {
+            qx.observe_status(at, &ev);
+        }
         ch.take_exits(now);
         match ch.next_wake(true) {
             Some(w) if w > now => now = w,
@@ -151,12 +176,57 @@ fn bench_long_jump_mapping(c: &mut Criterion) {
             None => break,
         }
     }
+    (packets, qx, now)
+}
+
+fn bench_long_jump_mapping(c: &mut Criterion) {
+    // Prepare realistic logs once; benchmark only the analysis passes.
+    let (packets, qx, _) = mapping_fixture(200, 0.001);
     let refs: Vec<(SimTime, &IpPacket)> = packets.iter().map(|(at, p)| (*at, p)).collect();
 
     let mut g = c.benchmark_group("analyzer");
     g.throughput(Throughput::Elements(refs.len() as u64));
     g.bench_function("long_jump_map_200_packets", |b| {
         b.iter(|| long_jump_map(&refs, &qx.log, Direction::Uplink).len())
+    });
+    g.finish();
+
+    // 10k-packet scale with 2% record loss: every lost record forces a
+    // resync scan, which is where the indexed mapper pulls away from the
+    // reference's linear walk of the scan window.
+    let (packets, qx, end) = mapping_fixture(10_000, 0.02);
+    let refs: Vec<(SimTime, &IpPacket)> = packets.iter().map(|(at, p)| (*at, p)).collect();
+    let opts = MapperOptions::default();
+
+    let mut g = c.benchmark_group("analyzer_10k");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(refs.len() as u64));
+    g.bench_function("long_jump_map_10k_indexed", |b| {
+        b.iter(|| long_jump_map_with(&refs, &qx.log, Direction::Uplink, opts).len())
+    });
+    g.bench_function("long_jump_map_10k_reference", |b| {
+        b.iter(|| reference::long_jump_map_with(&refs, &qx.log, Direction::Uplink, opts).len())
+    });
+
+    let mapped = long_jump_map_with(&refs, &qx.log, Direction::Uplink, opts);
+    let net = SimDuration::from_millis(500);
+    g.bench_function("net_latency_breakdown_10k_indexed", |b| {
+        b.iter(|| {
+            net_latency_breakdown(SimTime::ZERO, end, net, &mapped, &qx.log, Direction::Uplink).ota
+        })
+    });
+    g.bench_function("net_latency_breakdown_10k_reference", |b| {
+        b.iter(|| {
+            reference::net_latency_breakdown(
+                SimTime::ZERO,
+                end,
+                net,
+                &mapped,
+                &qx.log,
+                Direction::Uplink,
+            )
+            .ota
+        })
     });
     g.finish();
 }

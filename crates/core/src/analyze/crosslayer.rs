@@ -14,13 +14,14 @@
 //!    the PDU length — plus the fine-grained network latency breakdown of
 //!    Fig. 9 (IP-to-RLC, RLC transmission, first-hop OTA, other).
 
+use crate::analyze::timeindex::TimeIndex;
 use crate::behavior::BehaviorRecord;
 use netstack::pcap::{Direction, PacketRecord};
 use netstack::{FlowKey, IpPacket};
 use radio::qxdm::{PduRecord, QxdmLog};
 use radio::rlc::PduEvent;
 use radio::rrc::RrcTransition;
-use simcore::{percentile, RecordLog, SimDuration, SimTime};
+use simcore::{RecordLog, SimDuration, SimTime, SortedSamples};
 use std::collections::{BTreeSet, HashMap};
 
 // ---------------------------------------------------------------------
@@ -118,7 +119,7 @@ pub fn rrc_transitions_in(
 // ---------------------------------------------------------------------
 
 /// The mapping result for one IP packet.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MappedPacket {
     /// The packet id.
     pub packet_id: u64,
@@ -173,6 +174,34 @@ struct DedupedPdu {
     gap_before: u32,
 }
 
+/// Wire-byte accessor the mapper walks. The reference implementation feeds
+/// the eagerly materialized buffer; the indexed mapper feeds the lazy
+/// [`netstack::WireView`], generating only the handful of bytes each chain
+/// comparison actually touches — the long-jump principle applied to the
+/// analyzer's own input.
+trait WireAccess {
+    fn len(&self) -> usize;
+    fn at(&self, i: usize) -> u8;
+}
+
+impl WireAccess for bytes::Bytes {
+    fn len(&self) -> usize {
+        self.as_ref().len()
+    }
+    fn at(&self, i: usize) -> u8 {
+        self[i]
+    }
+}
+
+impl WireAccess for netstack::WireView {
+    fn len(&self) -> usize {
+        netstack::WireView::len(self)
+    }
+    fn at(&self, i: usize) -> u8 {
+        netstack::WireView::at(self, i)
+    }
+}
+
 /// Map captured IP packets of one direction onto PDU chains from the QxDM
 /// log. Packets and PDUs must be in time order (they are: RLC is FIFO with
 /// in-sequence delivery).
@@ -184,15 +213,9 @@ pub fn long_jump_map(
     long_jump_map_with(packets, qxdm, dir, MapperOptions::default())
 }
 
-/// [`long_jump_map`] with explicit mapper options (ablation entry point).
-pub fn long_jump_map_with(
-    packets: &[(SimTime, &IpPacket)],
-    qxdm: &QxdmLog,
-    dir: Direction,
-    opts: MapperOptions,
-) -> Vec<MappedPacket> {
-    // Keep first transmissions only (retransmissions reuse the sn; records
-    // arrive in sn order for first transmissions).
+/// Keep first transmissions only (retransmissions reuse the sn; records
+/// arrive in sn order for first transmissions).
+fn dedup_first_transmissions(qxdm: &QxdmLog, dir: Direction) -> Vec<DedupedPdu> {
     let mut pdus: Vec<DedupedPdu> = Vec::new();
     let mut max_sn_seen: Option<u32> = None;
     for (at, rec) in qxdm.pdus.iter() {
@@ -211,7 +234,110 @@ pub fn long_jump_map_with(
             });
         }
     }
+    pdus
+}
 
+/// [`long_jump_map`] with explicit mapper options (ablation entry point).
+///
+/// The chain-start scan is indexed: PDU positions are grouped by their
+/// first two payload bytes and bridge candidates (LI-bearing PDUs) are kept
+/// as a sorted position list, so each packet inspects only the PDUs that
+/// *could* start its chain instead of walking the whole scan window. Output
+/// is byte-identical to [`reference::long_jump_map_with`] — candidates are
+/// visited in exactly the reference scan order (ascending position,
+/// boundary-start before bridge at equal positions); the differential
+/// property tests in `tests/differential.rs` hold the two implementations
+/// equal.
+pub fn long_jump_map_with(
+    packets: &[(SimTime, &IpPacket)],
+    qxdm: &QxdmLog,
+    dir: Direction,
+    opts: MapperOptions,
+) -> Vec<MappedPacket> {
+    let pdus = dedup_first_transmissions(qxdm, dir);
+
+    // Position index: chain starts are recognized by the first two payload
+    // bytes; bridge rescue considers only LI-split PDUs, kept as a second
+    // sorted list. The start lists are built lazily per queried key — all
+    // of a flow's packets share a handful of head-byte pairs (the capture's
+    // packets all open with the same IP version/proto marker), so eagerly
+    // hashing every PDU's first2 would cost more than the scans it saves.
+    let mut start_lists: HashMap<[u8; 2], Vec<usize>> = HashMap::new();
+    let bridge_at: Vec<usize> = if opts.bridge_rescue {
+        pdus.iter()
+            .enumerate()
+            .filter(|(_, p)| p.rec.li.is_some_and(|li| li < p.rec.payload_len))
+            .map(|(i, _)| i)
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    drive_map(
+        packets,
+        &pdus,
+        opts,
+        |pkt| pkt.wire_view(),
+        |wire, cursor, hi| {
+            if wire.len() < 2 {
+                // Degenerate sub-2-byte packets (no real IP packet: minimum
+                // wire size is 40 bytes) match on one byte or none — not
+                // indexable by the 2-byte key, so scan them linearly.
+                return reference::scan_linear(wire, &pdus, cursor, hi, &opts);
+            }
+            let key = [wire.at(0), wire.at(1)];
+            let starts: &[usize] = start_lists.entry(key).or_insert_with(|| {
+                pdus.iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.rec.first2 == key)
+                    .map(|(i, _)| i)
+                    .collect()
+            });
+            let mut si = starts.partition_point(|&j| j < cursor);
+            let mut bi = bridge_at.partition_point(|&j| j < cursor);
+            loop {
+                let sj = starts.get(si).copied().filter(|&j| j < hi);
+                let bj = bridge_at.get(bi).copied().filter(|&j| j < hi);
+                let j = match (sj, bj) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => return None,
+                };
+                // Reference scan order: at each position a boundary-start
+                // match is tried before a bridge.
+                if sj == Some(j) {
+                    si += 1;
+                    if let Some((last, sns)) = try_chain(wire, &pdus, 0, j, j) {
+                        return Some((j, last, sns));
+                    }
+                }
+                if bj == Some(j) {
+                    bi += 1;
+                    let rec = &pdus[j].rec;
+                    let li = rec.li.expect("bridge candidates carry an LI");
+                    let bridged = (rec.payload_len - li) as usize;
+                    if let Some((last, sns)) = try_chain(wire, &pdus, bridged, j + 1, j) {
+                        return Some((j, last, sns));
+                    }
+                }
+            }
+        },
+    )
+}
+
+/// The mapper driver: cursor advance, bridge carry, and gap credit are
+/// shared between the indexed mapper and the naive reference; only the
+/// wire representation and the chain-start scan strategy differ.
+/// `scan(wire, cursor, hi)` must return the first viable chain in
+/// `[cursor, hi)` as `(first, last, sns)`.
+fn drive_map<W: WireAccess>(
+    packets: &[(SimTime, &IpPacket)],
+    pdus: &[DedupedPdu],
+    opts: MapperOptions,
+    mut wire_of: impl FnMut(&IpPacket) -> W,
+    mut scan: impl FnMut(&W, usize, usize) -> Option<(usize, usize, Vec<u32>)>,
+) -> Vec<MappedPacket> {
     let mut out = Vec::with_capacity(packets.len());
     let mut cursor = 0usize;
     // Bytes of the *next* packet already consumed by a bridge PDU:
@@ -223,7 +349,7 @@ pub fn long_jump_map_with(
     let mut gap_credit: (usize, u32) = (usize::MAX, 0);
 
     for (captured_at, pkt) in packets {
-        let wire = pkt.wire_bytes();
+        let wire = wire_of(pkt);
         let mut result: Option<(usize, usize, Vec<u32>)> = None;
 
         if let Some((cidx, cbytes)) = carry {
@@ -271,30 +397,7 @@ pub fn long_jump_map_with(
             //     start mid-PDU, so without (b) one lost record would
             //     cascade into unmapped packets forever.
             let hi = (cursor + opts.scan_window).min(pdus.len());
-            for j in cursor..hi {
-                let first2_ok = match wire.len() {
-                    0 => false,
-                    1 => pdus[j].rec.first2[0] == wire[0],
-                    _ => pdus[j].rec.first2 == [wire[0], wire[1]],
-                };
-                if first2_ok {
-                    if let Some((last, sns)) = try_chain(&wire, &pdus, 0, j, j) {
-                        result = Some((j, last, sns));
-                        break;
-                    }
-                }
-                if opts.bridge_rescue {
-                    if let Some(li) = pdus[j].rec.li {
-                        if li < pdus[j].rec.payload_len {
-                            let bridged = (pdus[j].rec.payload_len - li) as usize;
-                            if let Some((last, sns)) = try_chain(&wire, &pdus, bridged, j + 1, j) {
-                                result = Some((j, last, sns));
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
+            result = scan(&wire, cursor, hi);
         }
 
         match result {
@@ -331,8 +434,8 @@ pub fn long_jump_map_with(
 /// Attempt to walk a chain covering `wire` starting with `cum` bytes
 /// already consumed (bridge carry) at PDU index `start_j`. Returns the last
 /// PDU index and the chain's sequence numbers (including the bridge PDU).
-fn try_chain(
-    wire: &[u8],
+fn try_chain<W: WireAccess>(
+    wire: &W,
     pdus: &[DedupedPdu],
     mut cum: usize,
     start_j: usize,
@@ -356,9 +459,9 @@ fn try_chain(
         // the cumulative offset ("after matching these 2 bytes we skip over
         // the rest of the PDU" — the long jump).
         let ok = if cum + 1 < total {
-            pdu.rec.first2 == [wire[cum], wire[cum + 1]]
+            pdu.rec.first2 == [wire.at(cum), wire.at(cum + 1)]
         } else if cum < total {
-            pdu.rec.first2[0] == wire[cum]
+            pdu.rec.first2[0] == wire.at(cum)
         } else {
             false
         };
@@ -456,7 +559,7 @@ pub fn score_mapping(
 // ---------------------------------------------------------------------
 
 /// The four components of Fig. 9.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetLatencyBreakdown {
     /// IP packet handed to RLC → first PDU transmitted (channel idle).
     pub ip_to_rlc: SimDuration,
@@ -472,6 +575,12 @@ pub struct NetLatencyBreakdown {
 
 /// Break down the network latency of a QoE window (§7.2's Fig. 8
 /// methodology), for the direction carrying the bulk data.
+///
+/// The "was the channel busy in between" checks run against a [`TimeIndex`]
+/// over the window's PDU transmission times — O(log n) per mapped packet
+/// and per STATUS instead of the reference implementation's rescan of the
+/// whole PDU vector ([`reference::net_latency_breakdown`] retains that
+/// shape; the differential tests hold the two equal).
 pub fn net_latency_breakdown(
     window_start: SimTime,
     window_end: SimTime,
@@ -484,19 +593,23 @@ pub fn net_latency_breakdown(
         total: network_latency,
         ..Default::default()
     };
-    // All PDU transmission times in the window for this direction.
-    let pdu_times: Vec<SimTime> = qxdm
-        .pdus
-        .window(window_start, window_end)
-        .iter()
-        .filter(|e| e.record.dir == dir)
-        .map(|e| e.at)
-        .collect();
+    // All PDU transmission times in the window for this direction, indexed.
+    // The window slice is time-sorted, so the index build is a filter pass.
+    let pdu_times = TimeIndex::new(
+        qxdm.pdus
+            .window(window_start, window_end)
+            .iter()
+            .filter(|e| e.record.dir == dir)
+            .map(|e| e.at)
+            .collect(),
+    );
     if pdu_times.is_empty() {
         out.other = network_latency;
         return out;
     }
-    // Estimated first-hop OTA RTT (median of poll→STATUS pairs).
+    // Estimated first-hop OTA RTT (median of poll→STATUS pairs). One sort,
+    // in place — the reference routes this through `percentile`, which
+    // copies and re-sorts.
     let rtts: Vec<f64> = super::radio::first_hop_ota_rtts(qxdm, dir)
         .iter()
         .map(|(_, d)| d.as_secs_f64())
@@ -504,12 +617,12 @@ pub fn net_latency_breakdown(
     let est_ota = if rtts.is_empty() {
         0.06
     } else {
-        percentile(&rtts, 50.0)
+        SortedSamples::from_vec(rtts).percentile(50.0)
     };
 
     // RLC transmission delay: sum of inter-PDU gaps within bursts
     // (gap < estimated OTA RTT).
-    for w in pdu_times.windows(2) {
+    for w in pdu_times.as_slice().windows(2) {
         let gap = w[1].saturating_since(w[0]).as_secs_f64();
         if gap < est_ota {
             out.rlc_tx += SimDuration::from_secs_f64(gap);
@@ -530,8 +643,7 @@ pub fn net_latency_breakdown(
             if m.captured_at < window_start || m.captured_at > window_end {
                 continue;
             }
-            let intervening = pdu_times.iter().any(|t| *t > m.captured_at && *t < first);
-            if !intervening && first > m.captured_at {
+            if !pdu_times.any_in_open(m.captured_at, first) && first > m.captured_at {
                 out.ip_to_rlc += first.saturating_since(m.captured_at);
             }
         }
@@ -539,24 +651,22 @@ pub fn net_latency_breakdown(
 
     // First-hop OTA delay: STATUS waits with no transmission in between
     // ("the device explicitly waits for").
-    let polls: Vec<SimTime> = qxdm
-        .pdus
-        .window(window_start, window_end)
-        .iter()
-        .filter(|e| e.record.dir == dir && e.record.poll)
-        .map(|e| e.at)
-        .collect();
+    let polls = TimeIndex::new(
+        qxdm.pdus
+            .window(window_start, window_end)
+            .iter()
+            .filter(|e| e.record.dir == dir && e.record.poll)
+            .map(|e| e.at)
+            .collect(),
+    );
     for st in qxdm.statuses.window(window_start, window_end) {
         if st.record.data_dir != dir {
             continue;
         }
-        let idx = polls.partition_point(|p| *p <= st.at);
-        if idx == 0 {
+        let Some(poll_at) = polls.last_at_or_before(st.at) else {
             continue;
-        }
-        let poll_at = polls[idx - 1];
-        let busy_between = pdu_times.iter().any(|t| *t > poll_at && *t < st.at);
-        if !busy_between {
+        };
+        if !pdu_times.any_in_open(poll_at, st.at) {
             out.ota += st.at.saturating_since(poll_at);
         }
     }
@@ -564,6 +674,152 @@ pub fn net_latency_breakdown(
     let accounted = out.ip_to_rlc + out.rlc_tx + out.ota;
     out.other = network_latency.saturating_sub(accounted);
     out
+}
+
+// ---------------------------------------------------------------------
+// Naive reference implementations
+// ---------------------------------------------------------------------
+
+/// The pre-index implementations, retained verbatim as the differential
+/// oracle: the optimized mapper and latency attribution must produce
+/// *identical* output (`tests/differential.rs`), and the before/after
+/// benches measure against these (`repro bench`, `cargo bench`).
+pub mod reference {
+    use super::*;
+    use simcore::percentile;
+
+    /// Linear chain-start scan over `[cursor, hi)` — the original O(window)
+    /// per-packet walk. Also used by the indexed mapper for degenerate
+    /// sub-2-byte packets, which the 2-byte index cannot serve.
+    pub(super) fn scan_linear<W: WireAccess>(
+        wire: &W,
+        pdus: &[DedupedPdu],
+        cursor: usize,
+        hi: usize,
+        opts: &MapperOptions,
+    ) -> Option<(usize, usize, Vec<u32>)> {
+        for j in cursor..hi {
+            let first2_ok = match wire.len() {
+                0 => false,
+                1 => pdus[j].rec.first2[0] == wire.at(0),
+                _ => pdus[j].rec.first2 == [wire.at(0), wire.at(1)],
+            };
+            if first2_ok {
+                if let Some((last, sns)) = try_chain(wire, pdus, 0, j, j) {
+                    return Some((j, last, sns));
+                }
+            }
+            if opts.bridge_rescue {
+                if let Some(li) = pdus[j].rec.li {
+                    if li < pdus[j].rec.payload_len {
+                        let bridged = (pdus[j].rec.payload_len - li) as usize;
+                        if let Some((last, sns)) = try_chain(wire, pdus, bridged, j + 1, j) {
+                            return Some((j, last, sns));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// [`super::long_jump_map_with`] with the original linear scan over
+    /// eagerly materialized wire bytes.
+    pub fn long_jump_map_with(
+        packets: &[(SimTime, &IpPacket)],
+        qxdm: &QxdmLog,
+        dir: Direction,
+        opts: MapperOptions,
+    ) -> Vec<MappedPacket> {
+        let pdus = dedup_first_transmissions(qxdm, dir);
+        drive_map(
+            packets,
+            &pdus,
+            opts,
+            |pkt| pkt.wire_bytes(),
+            |wire, cursor, hi| scan_linear(wire, &pdus, cursor, hi, &opts),
+        )
+    }
+
+    /// [`super::net_latency_breakdown`] with the original per-query rescans
+    /// of the PDU timestamp vector.
+    pub fn net_latency_breakdown(
+        window_start: SimTime,
+        window_end: SimTime,
+        network_latency: SimDuration,
+        mapped: &[MappedPacket],
+        qxdm: &QxdmLog,
+        dir: Direction,
+    ) -> NetLatencyBreakdown {
+        let mut out = NetLatencyBreakdown {
+            total: network_latency,
+            ..Default::default()
+        };
+        let pdu_times: Vec<SimTime> = qxdm
+            .pdus
+            .window(window_start, window_end)
+            .iter()
+            .filter(|e| e.record.dir == dir)
+            .map(|e| e.at)
+            .collect();
+        if pdu_times.is_empty() {
+            out.other = network_latency;
+            return out;
+        }
+        let rtts: Vec<f64> = crate::analyze::radio::first_hop_ota_rtts(qxdm, dir)
+            .iter()
+            .map(|(_, d)| d.as_secs_f64())
+            .collect();
+        let est_ota = if rtts.is_empty() {
+            0.06
+        } else {
+            percentile(&rtts, 50.0)
+        };
+        for w in pdu_times.windows(2) {
+            let gap = w[1].saturating_since(w[0]).as_secs_f64();
+            if gap < est_ota {
+                out.rlc_tx += SimDuration::from_secs_f64(gap);
+            }
+        }
+        if dir == Direction::Uplink {
+            for m in mapped {
+                let (Some(first), true) = (m.first_pdu_at, m.mapped()) else {
+                    continue;
+                };
+                if m.captured_at < window_start || m.captured_at > window_end {
+                    continue;
+                }
+                let intervening = pdu_times.iter().any(|t| *t > m.captured_at && *t < first);
+                if !intervening && first > m.captured_at {
+                    out.ip_to_rlc += first.saturating_since(m.captured_at);
+                }
+            }
+        }
+        let polls: Vec<SimTime> = qxdm
+            .pdus
+            .window(window_start, window_end)
+            .iter()
+            .filter(|e| e.record.dir == dir && e.record.poll)
+            .map(|e| e.at)
+            .collect();
+        for st in qxdm.statuses.window(window_start, window_end) {
+            if st.record.data_dir != dir {
+                continue;
+            }
+            let idx = polls.partition_point(|p| *p <= st.at);
+            if idx == 0 {
+                continue;
+            }
+            let poll_at = polls[idx - 1];
+            let busy_between = pdu_times.iter().any(|t| *t > poll_at && *t < st.at);
+            if !busy_between {
+                out.ota += st.at.saturating_since(poll_at);
+            }
+        }
+        let accounted = out.ip_to_rlc + out.rlc_tx + out.ota;
+        out.other = network_latency.saturating_sub(accounted);
+        out
+    }
 }
 
 #[cfg(test)]

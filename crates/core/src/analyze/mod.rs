@@ -5,4 +5,5 @@ pub mod app;
 pub mod crosslayer;
 pub mod radio;
 pub mod speedindex;
+pub mod timeindex;
 pub mod transport;

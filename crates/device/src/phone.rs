@@ -187,7 +187,10 @@ impl Phone {
             net,
             ui,
             app,
-            capture: Capture::new(),
+            // Pre-sized like tcpdump's ring buffer: even short experiments
+            // capture thousands of packets, and the record call sits on the
+            // per-packet hot path.
+            capture: Capture::with_capacity(4096),
             cpu: CpuMeter::default(),
             rng,
             parse_base: SimDuration::from_millis(24),
@@ -365,9 +368,11 @@ impl Phone {
             );
             self.app.tick(&mut cx);
         }
-        // 3. Protocol machinery, then uplink through the capture tap.
+        // 3. Protocol machinery, then uplink through the capture tap. Each
+        // packet moves straight from the egress ring to the access network —
+        // no intermediate Vec on this per-tick path.
         self.host.poll(now);
-        for p in self.host.take_egress() {
+        while let Some(p) = self.host.pop_egress() {
             self.capture.record(Direction::Uplink, &p, now);
             match &mut self.net {
                 NetAttachment::Cell(b) => b.send_uplink(p, now),

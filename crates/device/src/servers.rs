@@ -392,7 +392,9 @@ impl Internet {
     pub fn take_egress(&mut self, _now: SimTime) -> Vec<IpPacket> {
         let mut out = core::mem::take(&mut self.dns_egress);
         for node in &mut self.nodes {
-            out.extend(node.host.take_egress());
+            while let Some(p) = node.host.pop_egress() {
+                out.push(p);
+            }
         }
         out
     }

@@ -10,7 +10,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
-use simcore::{Cdf, Summary};
+use simcore::{Cdf, SortedSamples, Summary};
 
 use crate::campaign::{CampaignRun, Outcome};
 use crate::json::Json;
@@ -79,8 +79,10 @@ pub fn report_json<T: Record>(run: &CampaignRun<T>) -> Json {
                         names.len() - 1
                     }
                 };
-                sets[at].0.push(Summary::of(&samples));
-                sets[at].1.push(Cdf::of(&samples));
+                // One sort serves both the summary and the CDF.
+                let sorted = SortedSamples::from_vec(samples);
+                sets[at].0.push(sorted.summary());
+                sets[at].1.push(sorted.into_cdf());
             }
         }
     }

@@ -11,6 +11,7 @@ use crate::packet::{IpPacket, Proto};
 use crate::tcp::{TcpConfig, TcpSocket};
 use simcore::{earlier, SimDuration, SimTime};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Handle to a socket owned by a [`Host`].
 pub type SockId = usize;
@@ -28,7 +29,9 @@ struct PendingQuery {
 pub struct Host {
     /// This host's address.
     pub ip: IpAddr,
-    cfg: TcpConfig,
+    /// Shared socket configuration: every socket holds an `Arc` to one
+    /// config, so connect/accept cost a refcount bump, not a struct clone.
+    cfg: Arc<TcpConfig>,
     sockets: Vec<TcpSocket>,
     listen_ports: HashSet<u16>,
     accept_queues: HashMap<u16, VecDeque<SockId>>,
@@ -42,10 +45,10 @@ pub struct Host {
 
 impl Host {
     /// New host at `ip` using `resolver` for DNS.
-    pub fn new(ip: IpAddr, resolver: SocketAddr, cfg: TcpConfig) -> Host {
+    pub fn new(ip: IpAddr, resolver: SocketAddr, cfg: impl Into<Arc<TcpConfig>>) -> Host {
         Host {
             ip,
-            cfg,
+            cfg: cfg.into(),
             sockets: Vec::new(),
             listen_ports: HashSet::new(),
             accept_queues: HashMap::new(),
@@ -76,7 +79,7 @@ impl Host {
         let port = self.next_ephemeral;
         self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(40_000);
         let local = SocketAddr::new(self.ip, port);
-        let sock = TcpSocket::connect(local, remote, self.cfg.clone());
+        let sock = TcpSocket::connect(local, remote, Arc::clone(&self.cfg));
         self.sockets.push(sock);
         self.sockets.len() - 1
     }
@@ -151,7 +154,7 @@ impl Host {
                 // New connection to a listening port?
                 let is_syn = pkt.tcp.is_some_and(|h| h.flags.syn && !h.flags.ack);
                 if is_syn && self.listen_ports.contains(&pkt.dst.port) {
-                    let sock = TcpSocket::accept_from_syn(pkt.dst, pkt.src, self.cfg.clone());
+                    let sock = TcpSocket::accept_from_syn(pkt.dst, pkt.src, Arc::clone(&self.cfg));
                     self.sockets.push(sock);
                     let id = self.sockets.len() - 1;
                     self.accept_queues
@@ -215,6 +218,14 @@ impl Host {
     /// Drain packets queued for transmission.
     pub fn take_egress(&mut self) -> Vec<IpPacket> {
         self.egress.drain(..).collect()
+    }
+
+    /// Pop the next packet queued for transmission, if any. The zero-copy
+    /// sibling of [`Host::take_egress`]: a `while let` loop over this moves
+    /// each packet straight from the egress ring to the link with no
+    /// intermediate `Vec` per tick.
+    pub fn pop_egress(&mut self) -> Option<IpPacket> {
+        self.egress.pop_front()
     }
 
     /// True when packets are waiting in the egress queue.

@@ -30,7 +30,7 @@ pub mod tcp;
 pub use addr::{FlowKey, IpAddr, SocketAddr};
 pub use host::{Host, SockId};
 pub use link::{GilbertElliott, LinkConfig, Pipe};
-pub use packet::{IpPacket, Proto, TcpFlags, TcpHeader, HEADER_BYTES, MSS};
+pub use packet::{IpPacket, Proto, TcpFlags, TcpHeader, WireView, HEADER_BYTES, MSS};
 pub use pcap::{Capture, Direction, PacketRecord};
 pub use shaper::{Discipline, RateLimiter, ShaperConfig};
 pub use tcp::{TcpConfig, TcpSocket, TcpState};

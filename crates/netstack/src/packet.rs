@@ -89,14 +89,10 @@ impl IpPacket {
         FlowKey::new(self.src, self.dst)
     }
 
-    /// Serialize the packet into its wire bytes (headers + payload).
-    ///
-    /// The header layout is a simplified but deterministic 40-byte encoding;
-    /// the TCP payload is a pseudorandom-but-deterministic pattern keyed by
-    /// the flow and sequence number, so retransmissions carry identical bytes
-    /// (as on a real wire) while distinct stream positions differ.
-    pub fn wire_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.wire_len() as usize);
+    /// The deterministic 40-byte header encoding shared by [`wire_bytes`]
+    /// and [`wire_view`] (`Self::wire_bytes`, `Self::wire_view`).
+    fn header_bytes(&self) -> [u8; HEADER_BYTES as usize] {
+        let mut buf = BytesMut::with_capacity(HEADER_BYTES as usize);
         // "IP" header: version/proto marker, length, addresses.
         buf.put_u8(0x45);
         buf.put_u8(match self.proto {
@@ -124,31 +120,119 @@ impl IpPacket {
         buf.put_u64(ack);
         buf.put_u8(flags);
         buf.put_u8(0);
-        debug_assert_eq!(buf.len(), HEADER_BYTES as usize);
+        let mut hdr = [0u8; HEADER_BYTES as usize];
+        hdr.copy_from_slice(&buf);
+        hdr
+    }
+
+    /// The generator for this packet's payload bytes.
+    fn body_gen(&self) -> WireBody {
         match (&self.udp_payload, self.tcp) {
-            (Some(p), _) => {
-                buf.put_slice(p);
+            (Some(p), _) => WireBody::Explicit(p.clone()),
+            (None, Some(h)) => WireBody::Stream {
+                key: flow_stream_key(self.flow()),
+                base: h.seq,
+            },
+            (None, None) => WireBody::Stream {
+                key: self.id,
+                base: 0,
+            },
+        }
+    }
+
+    /// Serialize the packet into its wire bytes (headers + payload).
+    ///
+    /// The header layout is a simplified but deterministic 40-byte encoding;
+    /// the TCP payload is a pseudorandom-but-deterministic pattern keyed by
+    /// the flow and sequence number, so retransmissions carry identical bytes
+    /// (as on a real wire) while distinct stream positions differ.
+    ///
+    /// Consumers that only sample a few positions (the RLC segmenter and the
+    /// long-jump mapper read two bytes per PDU) should prefer
+    /// [`IpPacket::wire_view`], which serves bytes on demand without
+    /// materializing the payload.
+    pub fn wire_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len() as usize);
+        buf.put_slice(&self.header_bytes());
+        let declared = self.payload_len as usize;
+        match self.body_gen() {
+            WireBody::Explicit(p) => {
+                buf.put_slice(&p);
                 // Pad or truncate to the declared payload length.
-                let declared = self.payload_len as usize;
                 match buf.len().cmp(&(HEADER_BYTES as usize + declared)) {
                     core::cmp::Ordering::Less => buf.resize(HEADER_BYTES as usize + declared, 0),
                     core::cmp::Ordering::Greater => buf.truncate(HEADER_BYTES as usize + declared),
                     core::cmp::Ordering::Equal => {}
                 }
             }
-            (None, Some(h)) => {
-                let key = flow_stream_key(self.flow());
-                for i in 0..self.payload_len as u64 {
-                    buf.put_u8(stream_byte(key, h.seq + i));
+            WireBody::Stream { key, base } => {
+                // Fill a flat buffer rather than appending byte by byte: the
+                // slice loop has no per-byte capacity check, so the splitmix
+                // rounds vectorize.
+                let mut tail = vec![0u8; declared];
+                for (i, b) in tail.iter_mut().enumerate() {
+                    *b = stream_byte(key, base.wrapping_add(i as u64));
                 }
-            }
-            (None, None) => {
-                for i in 0..self.payload_len as u64 {
-                    buf.put_u8(stream_byte(self.id, i));
-                }
+                buf.put_slice(&tail);
             }
         }
         buf.freeze()
+    }
+
+    /// A zero-materialization view of the wire bytes: serves any position of
+    /// [`IpPacket::wire_bytes`] on demand without generating the buffer.
+    ///
+    /// This is the long-jump principle applied to the simulator itself: the
+    /// RLC segmenter records two payload bytes per 40-byte PDU and the
+    /// mapper compares two bytes per chain hop, so materializing the full
+    /// pseudorandom payload (three multiplies per byte) costs more than
+    /// every downstream use of it combined.
+    pub fn wire_view(&self) -> WireView {
+        WireView {
+            header: self.header_bytes(),
+            wire_len: self.wire_len() as usize,
+            body: self.body_gen(),
+        }
+    }
+}
+
+/// Payload generator behind a [`WireView`].
+#[derive(Debug, Clone)]
+enum WireBody {
+    /// Explicitly carried bytes (UDP), zero-padded to the declared length.
+    Explicit(Bytes),
+    /// Deterministic stream pattern: byte `j` is `stream_byte(key, base + j)`.
+    Stream { key: u64, base: u64 },
+}
+
+/// On-demand view of a packet's wire bytes — see [`IpPacket::wire_view`].
+/// `view.at(i)` equals `pkt.wire_bytes()[i]` for every `i < view.len()`.
+#[derive(Debug, Clone)]
+pub struct WireView {
+    header: [u8; HEADER_BYTES as usize],
+    wire_len: usize,
+    body: WireBody,
+}
+
+impl WireView {
+    /// Total wire length in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.wire_len
+    }
+
+    /// The byte at wire position `i`. Panics when `i >= len()`, matching
+    /// slice indexing on the materialized bytes.
+    pub fn at(&self, i: usize) -> u8 {
+        assert!(i < self.wire_len, "wire index {i} out of {}", self.wire_len);
+        if i < HEADER_BYTES as usize {
+            return self.header[i];
+        }
+        let j = i - HEADER_BYTES as usize;
+        match &self.body {
+            WireBody::Explicit(p) => p.get(j).copied().unwrap_or(0),
+            WireBody::Stream { key, base } => stream_byte(*key, base.wrapping_add(j as u64)),
+        }
     }
 }
 
@@ -210,6 +294,34 @@ mod tests {
     fn wire_bytes_match_declared_length() {
         let p = pkt(1234, 500);
         assert_eq!(p.wire_bytes().len() as u32, p.wire_len());
+    }
+
+    #[test]
+    fn wire_view_serves_identical_bytes() {
+        let mut cases = vec![pkt(0, 0), pkt(1234, 500), pkt(u64::MAX - 10, 37)];
+        // UDP with short (padded) and long (truncated) explicit payloads,
+        // and a raw packet with neither header.
+        let mut udp_short = pkt(0, 64);
+        udp_short.proto = Proto::Udp;
+        udp_short.tcp = None;
+        udp_short.udp_payload = Some(Bytes::from_static(b"query"));
+        cases.push(udp_short);
+        let mut udp_long = pkt(0, 4);
+        udp_long.proto = Proto::Udp;
+        udp_long.tcp = None;
+        udp_long.udp_payload = Some(Bytes::from_static(b"overlong payload"));
+        cases.push(udp_long);
+        let mut raw = pkt(0, 33);
+        raw.tcp = None;
+        cases.push(raw);
+        for p in cases {
+            let eager = p.wire_bytes();
+            let view = p.wire_view();
+            assert_eq!(eager.len(), view.len());
+            for i in 0..eager.len() {
+                assert_eq!(eager[i], view.at(i), "byte {i} of {p:?}");
+            }
+        }
     }
 
     #[test]

@@ -47,6 +47,16 @@ impl Capture {
         Capture::default()
     }
 
+    /// New capture pre-sized for `cap` packets — the buffered-writer mode.
+    /// tcpdump buffers its ring before touching the disk; our in-memory
+    /// substitute pre-reserves so recording a packet on the hot send/receive
+    /// path never triggers a reallocation-and-copy of the whole trace.
+    pub fn with_capacity(cap: usize) -> Capture {
+        Capture {
+            log: RecordLog::with_capacity(cap),
+        }
+    }
+
     /// Record a packet crossing the device boundary at `now`.
     pub fn record(&mut self, dir: Direction, pkt: &IpPacket, now: SimTime) {
         self.log.push(

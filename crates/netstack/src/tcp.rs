@@ -16,6 +16,7 @@ use crate::addr::SocketAddr;
 use crate::packet::{IpPacket, Proto, TcpFlags, TcpHeader, MSS};
 use simcore::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Tunable TCP parameters.
 #[derive(Debug, Clone)]
@@ -83,7 +84,7 @@ pub struct TcpSocket {
     pub local: SocketAddr,
     /// Remote endpoint.
     pub remote: SocketAddr,
-    cfg: TcpConfig,
+    cfg: Arc<TcpConfig>,
     state: TcpState,
     /// True if this endpoint initiated the connection.
     initiator: bool,
@@ -143,13 +144,21 @@ pub struct TcpSocket {
 
 impl TcpSocket {
     /// New client socket (will send a SYN on first poll).
-    pub fn connect(local: SocketAddr, remote: SocketAddr, cfg: TcpConfig) -> TcpSocket {
-        Self::new(local, remote, cfg, true, TcpState::SynSent)
+    pub fn connect(
+        local: SocketAddr,
+        remote: SocketAddr,
+        cfg: impl Into<Arc<TcpConfig>>,
+    ) -> TcpSocket {
+        Self::new(local, remote, cfg.into(), true, TcpState::SynSent)
     }
 
     /// New server socket answering an incoming SYN.
-    pub fn accept_from_syn(local: SocketAddr, remote: SocketAddr, cfg: TcpConfig) -> TcpSocket {
-        let mut s = Self::new(local, remote, cfg, false, TcpState::SynReceived);
+    pub fn accept_from_syn(
+        local: SocketAddr,
+        remote: SocketAddr,
+        cfg: impl Into<Arc<TcpConfig>>,
+    ) -> TcpSocket {
+        let mut s = Self::new(local, remote, cfg.into(), false, TcpState::SynReceived);
         s.need_ack = true; // triggers the SYN-ACK
         s.rcv_nxt = 1; // the peer's SYN consumed its sequence 0
         s
@@ -158,7 +167,7 @@ impl TcpSocket {
     fn new(
         local: SocketAddr,
         remote: SocketAddr,
-        cfg: TcpConfig,
+        cfg: Arc<TcpConfig>,
         initiator: bool,
         state: TcpState,
     ) -> TcpSocket {

@@ -144,7 +144,9 @@ pub struct StatusEvent {
 #[derive(Debug)]
 struct QueuedPacket {
     pkt: IpPacket,
-    wire: bytes::Bytes,
+    /// Lazy wire-byte view: segmentation reads two bytes per PDU, so the
+    /// pseudorandom payload is never materialized.
+    wire: netstack::WireView,
     cursor: usize,
     /// PDUs carrying this packet that have not yet been delivered.
     pdus_outstanding: u32,
@@ -229,7 +231,7 @@ impl RlcChannel {
 
     /// Accept an IP packet for transmission.
     pub fn enqueue(&mut self, pkt: IpPacket, _now: SimTime) {
-        let wire = pkt.wire_bytes();
+        let wire = pkt.wire_view();
         self.queue.push_back(QueuedPacket {
             pkt,
             wire,
@@ -304,7 +306,7 @@ impl RlcChannel {
             // Record the first two payload bytes of the PDU.
             for k in 0..2usize.min(take) {
                 if filled + k < 2 {
-                    first2[filled + k] = q.wire[q.cursor + k];
+                    first2[filled + k] = q.wire.at(q.cursor + k);
                 }
             }
             covers[covers_len as usize] = (q.pkt.id, take as u32);

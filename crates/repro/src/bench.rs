@@ -1,0 +1,289 @@
+//! `repro bench` — the performance snapshot behind `results/BENCH_pr3.json`.
+//!
+//! Times the hot paths the PR 3 optimization pass targeted, end to end:
+//! event-queue churn in `simcore`, the indexed long-jump mapper and
+//! `TimeIndex`-based latency attribution against their naive references,
+//! and the fig17 quick campaign as a whole-pipeline wall-time probe. The
+//! result is a machine-readable snapshot (wall time plus events/sec or
+//! packets/sec per scenario) written under `results/`, so a later change
+//! can be diffed against the committed baseline.
+//!
+//! These are coarse wall-clock measurements meant for trend tracking and CI
+//! smoke thresholds; `cargo bench -p bench` has the statistically careful
+//! versions.
+
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+use harness::Json;
+use netstack::pcap::Direction;
+use netstack::{IpAddr, IpPacket, Proto, SocketAddr, TcpFlags, TcpHeader};
+use qoe_doctor::analyze::crosslayer::{
+    long_jump_map_with, net_latency_breakdown, reference, MapperOptions,
+};
+use radio::qxdm::{Qxdm, QxdmConfig};
+use radio::rlc::{RlcChannel, RlcConfig};
+use simcore::{DetRng, EventQueue, SimDuration, SimTime};
+
+/// One timed scenario: `units` is what the scenario processed per
+/// iteration, so `units / wall` is its throughput.
+struct Timing {
+    name: &'static str,
+    wall_ms: f64,
+    units: f64,
+    unit: &'static str,
+}
+
+impl Timing {
+    fn per_sec(&self) -> f64 {
+        self.units / (self.wall_ms / 1e3)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name)),
+            ("wall_ms", Json::Num(self.wall_ms)),
+            (
+                match self.unit {
+                    "events" => "events_per_sec",
+                    "packets" => "packets_per_sec",
+                    _ => "units_per_sec",
+                },
+                Json::Num(self.per_sec()),
+            ),
+        ])
+    }
+}
+
+/// Best-of-`iters` wall time for `f`, which processes `units` units.
+fn time(
+    name: &'static str,
+    units: f64,
+    unit: &'static str,
+    iters: usize,
+    mut f: impl FnMut(),
+) -> Timing {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    Timing {
+        name,
+        wall_ms: best,
+        units,
+        unit,
+    }
+}
+
+fn bulk_packet(id: u64, len: u32) -> IpPacket {
+    IpPacket {
+        id,
+        src: SocketAddr::new(IpAddr::new(10, 0, 0, 1), 40000),
+        dst: SocketAddr::new(IpAddr::new(10, 0, 0, 2), 443),
+        proto: Proto::Tcp,
+        tcp: Some(TcpHeader {
+            seq: 1 + id * 1400,
+            ack: 0,
+            flags: TcpFlags {
+                ack: true,
+                ..Default::default()
+            },
+        }),
+        payload_len: len,
+        udp_payload: None,
+        markers: Vec::new(),
+    }
+}
+
+/// Run `n` packets through a 3G uplink RLC channel into a QxDM log with
+/// `record_loss` (the microbench fixture, at `repro bench` scale).
+fn mapping_fixture(n: u64, record_loss: f64) -> (Vec<(SimTime, IpPacket)>, Qxdm, SimTime) {
+    let mut cfg = RlcConfig::umts_uplink();
+    cfg.pdu_loss = 0.0;
+    cfg.ota_jitter = 0.0;
+    let mut ch = RlcChannel::new(cfg, Direction::Uplink, DetRng::seed_from_u64(2));
+    let mut packets = Vec::new();
+    for i in 0..n {
+        let pkt = bulk_packet(i, 200 + ((i * 37) % 1200) as u32);
+        packets.push((SimTime::from_micros(i), pkt.clone()));
+        ch.enqueue(pkt, SimTime::ZERO);
+    }
+    let mut qx = Qxdm::new(
+        QxdmConfig {
+            ul_record_loss: record_loss,
+            dl_record_loss: 0.0,
+            log_pdus: true,
+        },
+        DetRng::seed_from_u64(3),
+    );
+    let mut now = SimTime::ZERO;
+    loop {
+        ch.poll(now, true, 1.6e6);
+        for (at, ev) in ch.take_pdu_events(now) {
+            qx.observe_pdu(at, &ev);
+        }
+        for (at, ev) in ch.take_status_events(now) {
+            qx.observe_status(at, &ev);
+        }
+        ch.take_exits(now);
+        match ch.next_wake(true) {
+            Some(w) if w > now => now = w,
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    (packets, qx, now)
+}
+
+/// Run the benchmark suite, print human-readable rows, and write
+/// `BENCH_pr3.json` under `out_dir`. Returns the number of failures (file
+/// write problems; the measurements themselves cannot fail).
+pub fn run_bench(jobs: usize, seed: u64, out_dir: &Path) -> usize {
+    let mut scenarios: Vec<Timing> = Vec::new();
+
+    // 1. Event-queue churn: the simulator's innermost loop.
+    const QN: u64 = 200_000;
+    scenarios.push(time("event_queue_push_pop", QN as f64, "events", 3, || {
+        let mut q = EventQueue::new();
+        for i in 0..QN {
+            q.push(SimTime::from_micros((i * 7919) % 1_000_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        black_box(sum);
+    }));
+
+    // 2. Same-instant batch drain: the link-pipe delivery shape.
+    scenarios.push(time(
+        "event_queue_same_time_batch",
+        QN as f64,
+        "events",
+        3,
+        || {
+            let mut q = EventQueue::new();
+            let mut scratch = Vec::new();
+            for i in 0..QN {
+                q.push(SimTime::from_micros(i % 64), i);
+            }
+            let mut sum = 0u64;
+            for t in 0..64u64 {
+                scratch.clear();
+                q.pop_due_batch(SimTime::from_micros(t), &mut scratch);
+                for (_, v) in scratch.drain(..) {
+                    sum = sum.wrapping_add(v);
+                }
+            }
+            black_box(sum);
+        },
+    ));
+
+    // 3/4. Long-jump mapping at 10k-packet scale, indexed vs reference.
+    let (packets, qx, end) = mapping_fixture(10_000, 0.02);
+    let refs: Vec<(SimTime, &IpPacket)> = packets.iter().map(|(at, p)| (*at, p)).collect();
+    let opts = MapperOptions::default();
+    let n = refs.len() as f64;
+    scenarios.push(time("crosslayer_map_indexed", n, "packets", 3, || {
+        black_box(long_jump_map_with(&refs, &qx.log, Direction::Uplink, opts).len());
+    }));
+    scenarios.push(time("crosslayer_map_reference", n, "packets", 3, || {
+        black_box(reference::long_jump_map_with(&refs, &qx.log, Direction::Uplink, opts).len());
+    }));
+
+    // 5/6. Latency attribution over the full fixture window.
+    let mapped = long_jump_map_with(&refs, &qx.log, Direction::Uplink, opts);
+    let net = SimDuration::from_millis(500);
+    scenarios.push(time("net_breakdown_indexed", n, "packets", 3, || {
+        black_box(
+            net_latency_breakdown(SimTime::ZERO, end, net, &mapped, &qx.log, Direction::Uplink).ota,
+        );
+    }));
+    scenarios.push(time("net_breakdown_reference", n, "packets", 1, || {
+        black_box(
+            reference::net_latency_breakdown(
+                SimTime::ZERO,
+                end,
+                net,
+                &mapped,
+                &qx.log,
+                Direction::Uplink,
+            )
+            .ota,
+        );
+    }));
+
+    // 7. Whole-pipeline probe: the fig17 quick campaign (simulate →
+    // collect → analyze → aggregate), on the configured worker count.
+    scenarios.push(time("fig17_quick_campaign", 4.0, "videos", 1, || {
+        let run = crate::exp75::campaign_fig17(4, seed).run(jobs);
+        black_box(run.jobs.len());
+    }));
+
+    for s in &scenarios {
+        let rate = s.per_sec();
+        // Sub-1/s rates (whole-campaign probes) need decimals to be legible.
+        let digits = if rate < 100.0 { 2 } else { 0 };
+        println!(
+            "{:32} {:>10.2} ms   {:>12.*} {}/s",
+            s.name, s.wall_ms, digits, rate, s.unit
+        );
+    }
+    let map_speedup = speedup(
+        &scenarios,
+        "crosslayer_map_reference",
+        "crosslayer_map_indexed",
+    );
+    let nb_speedup = speedup(
+        &scenarios,
+        "net_breakdown_reference",
+        "net_breakdown_indexed",
+    );
+    println!("crosslayer_map speedup: {map_speedup:.2}x");
+    println!("net_breakdown speedup:  {nb_speedup:.2}x");
+
+    let doc = Json::obj([
+        ("bench", Json::from("pr3")),
+        ("jobs", Json::from(jobs as u64)),
+        (
+            "scenarios",
+            Json::arr(scenarios.iter().map(Timing::to_json)),
+        ),
+        (
+            "speedups",
+            Json::obj([
+                ("crosslayer_map", Json::Num(map_speedup)),
+                ("net_breakdown", Json::Num(nb_speedup)),
+            ]),
+        ),
+    ]);
+    let path = out_dir.join("BENCH_pr3.json");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("repro: cannot create {}: {e}", out_dir.display());
+        return 1;
+    }
+    match std::fs::write(&path, doc.pretty()) {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            0
+        }
+        Err(e) => {
+            eprintln!("repro: failed to write {}: {e}", path.display());
+            1
+        }
+    }
+}
+
+fn speedup(scenarios: &[Timing], slow: &str, fast: &str) -> f64 {
+    let wall = |name: &str| {
+        scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.wall_ms)
+            .unwrap_or(f64::NAN)
+    };
+    wall(slow) / wall(fast)
+}

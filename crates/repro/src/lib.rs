@@ -6,6 +6,7 @@
 //! outputs and the paper-vs-measured comparison.
 
 pub mod ablation;
+pub mod bench;
 pub mod chaos;
 pub mod exp71;
 pub mod exp72;

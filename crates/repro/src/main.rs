@@ -64,6 +64,10 @@ experiments:
   table1 table2 table3 fig6 fig7 fig8 fig10 fig11 fig12 fig13
   fig14 fig15 fig16 fig17 fig18 fig19 fig20 exp76 exp77 ablation chaos all
 
+other:
+  bench        hot-path performance snapshot; writes BENCH_pr3.json under
+               the --json directory (default: results/)
+
 flags:
   --quick      reduced repetition counts (CI scale)
   --jobs N     worker threads per campaign (default: available parallelism)
@@ -203,6 +207,14 @@ fn run(name: &str, opts: &Opts) -> usize {
     let s = &opts.scale;
     let mut failed = 0usize;
     match name {
+        "bench" => {
+            header("bench", "Hot-path performance snapshot (BENCH_pr3.json)");
+            let out_dir = opts
+                .json
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("results"));
+            failed += repro::bench::run_bench(opts.jobs, SEED, &out_dir);
+        }
         "table1" => {
             header("table1", "Replayed behaviours and latency anchors");
             repro::tables::print_table1();

@@ -37,6 +37,20 @@ impl<T> RecordLog<T> {
         Self::default()
     }
 
+    /// An empty log with room for `cap` records before reallocating. High-
+    /// rate writers (the packet capture, per-PDU QxDM logs) pre-size their
+    /// buffer so steady-state appends never pay a growth copy.
+    pub fn with_capacity(cap: usize) -> Self {
+        RecordLog {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Ensure space for at least `additional` more records.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
     /// Append a record at `at`. Records are expected to arrive in
     /// non-decreasing time order; this is asserted in debug builds.
     pub fn push(&mut self, at: SimTime, record: T) {

@@ -61,7 +61,59 @@ impl Summary {
 
     /// Compute summary statistics of `samples`.
     pub fn of(samples: &[f64]) -> Summary {
-        if samples.is_empty() {
+        SortedSamples::of(samples).summary()
+    }
+}
+
+/// A sample set sorted **once**, from which every order statistic — summary,
+/// percentiles, CDF — is derived without re-sorting.
+///
+/// [`Summary::of`], [`percentile`] and [`Cdf::of`] each sort their input;
+/// code that needs more than one of them from the same samples (the campaign
+/// report does all three per sample set) used to pay one `to_vec` + sort per
+/// call. Build a `SortedSamples` instead and every further question is
+/// `O(1)` or `O(log n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedSamples {
+    sorted: Vec<f64>,
+}
+
+impl SortedSamples {
+    /// Copy and sort `samples` (the one and only sort).
+    pub fn of(samples: &[f64]) -> SortedSamples {
+        SortedSamples::from_vec(samples.to_vec())
+    }
+
+    /// Take ownership of `samples` and sort in place — no copy at all.
+    pub fn from_vec(mut samples: Vec<f64>) -> SortedSamples {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        SortedSamples { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were given.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The ascending-sorted samples.
+    pub fn as_sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Percentile via [`percentile_sorted`] — no re-sort.
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_sorted(&self.sorted, p)
+    }
+
+    /// Summary statistics. Min/max/median read the sorted ends directly;
+    /// mean and variance are one linear pass.
+    pub fn summary(&self) -> Summary {
+        if self.sorted.is_empty() {
             return Summary {
                 n: 0,
                 mean: 0.0,
@@ -71,18 +123,23 @@ impl Summary {
                 median: 0.0,
             };
         }
-        let n = samples.len();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let n = self.sorted.len();
+        let mean = self.sorted.iter().sum::<f64>() / n as f64;
+        let var = self.sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         Summary {
             n,
             mean,
             std_dev: var.sqrt(),
-            min: sorted[0],
-            max: sorted[n - 1],
-            median: percentile_sorted(&sorted, 50.0),
+            min: self.sorted[0],
+            max: self.sorted[n - 1],
+            median: percentile_sorted(&self.sorted, 50.0),
+        }
+    }
+
+    /// The empirical CDF, reusing this sort (consumes self; no copy).
+    pub fn into_cdf(self) -> Cdf {
+        Cdf {
+            values: self.sorted,
         }
     }
 }
@@ -102,7 +159,10 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
-/// Percentile of an unsorted slice.
+/// Percentile of an unsorted slice. Copies and sorts per call — callers that
+/// already hold sorted data (a [`Cdf`], a [`SortedSamples`]) must use
+/// [`percentile_sorted`] instead, and callers needing several percentiles of
+/// the same samples should sort once via [`SortedSamples`].
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
@@ -259,6 +319,27 @@ mod tests {
         assert_eq!(merged.max, 4.0);
         assert!((merged.mean - 3.0).abs() < 1e-12);
         assert_eq!(Summary::merge(&[]).n, 0);
+    }
+
+    #[test]
+    fn sorted_samples_agree_with_ad_hoc_paths() {
+        let raw = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let s = SortedSamples::of(&raw);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.summary(), Summary::of(&raw));
+        assert!((s.percentile(50.0) - percentile(&raw, 50.0)).abs() < 1e-12);
+        assert_eq!(s.as_sorted(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.clone().into_cdf(), Cdf::of(&raw));
+        let empty = SortedSamples::of(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.summary(), Summary::of(&[]));
+    }
+
+    #[test]
+    fn sorted_samples_from_vec_avoids_copy() {
+        let s = SortedSamples::from_vec(vec![2.0, 1.0]);
+        assert_eq!(s.as_sorted(), &[1.0, 2.0]);
+        assert_eq!(s.into_cdf().values, vec![1.0, 2.0]);
     }
 
     #[test]
