@@ -6,6 +6,7 @@
 //! the screen ground truth (`t_screen`).
 
 use crate::behavior::{AppBehaviorLog, BehaviorRecord, StartKind};
+use crate::controller::PlaybackReport;
 use device::ui::ScreenEvent;
 use simcore::{RecordLog, SimDuration, SimTime, Summary};
 
@@ -21,6 +22,37 @@ pub fn latencies_secs(log: &AppBehaviorLog, prefix: &str) -> Vec<f64> {
 /// Summary statistics of calibrated latencies for `prefix`.
 pub fn latency_summary(log: &AppBehaviorLog, prefix: &str) -> Summary {
     Summary::of(&latencies_secs(log, prefix))
+}
+
+/// Reconstruct the playback reports of every monitored `action` session
+/// from the behaviour log alone — the offline twin of
+/// `Controller::monitor_playback`, used when analyzing a recorded bundle.
+///
+/// Each `"{action}:playback"` summary record yields one report in session
+/// order: the span and finish state come from the summary itself, the
+/// stall total and count from the `"{action}:rebuffer"` records inside the
+/// span. `ui_frozen` is not persisted in the log and is always `false`
+/// here; frozen sessions also carry `timed_out` and so report unfinished.
+pub fn playback_reports(log: &AppBehaviorLog, action: &str) -> Vec<PlaybackReport> {
+    let summary_action = format!("{action}:playback");
+    let rebuffer_action = format!("{action}:rebuffer");
+    log.iter()
+        .filter(|(_, r)| r.action == summary_action)
+        .map(|(_, summary)| {
+            let mut report = PlaybackReport {
+                span: summary.raw(),
+                finished: !summary.timed_out,
+                ..PlaybackReport::default()
+            };
+            for e in log.window(summary.start, summary.end) {
+                if e.record.action == rebuffer_action {
+                    report.stall += e.record.calibrated();
+                    report.stalls += 1;
+                }
+            }
+            report
+        })
+        .collect()
 }
 
 /// Accuracy evaluation of one measurement against the screen camera

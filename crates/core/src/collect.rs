@@ -17,6 +17,7 @@ use radio::rlc::PduEvent;
 use simcore::{RecordLog, SimTime};
 
 /// Everything an experiment run produced.
+#[derive(Debug, PartialEq)]
 pub struct Collection {
     /// The controller's behaviour log (measurement windows).
     pub behavior: AppBehaviorLog,

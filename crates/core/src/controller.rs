@@ -541,6 +541,22 @@ impl Controller {
                 }
             }
         }
+        // Log the whole session as a `"{action}:playback"` summary record
+        // so an offline analyzer can reconstruct the report (span, finish
+        // state, and — via the `:rebuffer` records inside the span — the
+        // stall total) from the behaviour log alone. `mean_parse` is zero:
+        // the span is bounded by controller-side instants, not UI parses.
+        self.log.push(
+            self.now,
+            BehaviorRecord {
+                action: format!("{action}:playback"),
+                start: playback_start,
+                end: self.now,
+                start_kind: StartKind::Parse,
+                mean_parse: SimDuration::ZERO,
+                timed_out: !report.finished,
+            },
+        );
         report.span = self.now.saturating_since(playback_start);
         report
     }

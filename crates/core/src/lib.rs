@@ -46,12 +46,14 @@
 
 pub mod analyze;
 pub mod behavior;
+pub mod bundle;
 pub mod collect;
 pub mod controller;
 pub mod diagnose;
 pub mod replay;
 
 pub use behavior::{AppBehaviorLog, BehaviorRecord, StartKind};
+pub use bundle::CollectionSet;
 pub use collect::Collection;
 pub use controller::{
     ControlError, Controller, Measured, PlaybackReport, RetryPolicy, WaitCondition,

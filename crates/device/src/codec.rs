@@ -1,0 +1,68 @@
+//! Binary codecs for device-layer records (the `trace::Codec` impls).
+//!
+//! [`ScreenEvent`] is the "camera" ground truth — the frame-accurate record
+//! of when pixels changed that §5.1 uses to calibrate UI-inferred timings.
+//! It persists as a *truth* entry in a bundle, never as an analyzer
+//! artifact. [`CpuMeter`] is the controller-overhead accounting used by the
+//! Table 3 overhead row.
+
+use trace::{Codec, Reader, TraceError, Writer};
+
+use crate::phone::CpuMeter;
+use crate::ui::ScreenEvent;
+use simcore::{SimDuration, SimTime};
+
+impl Codec for ScreenEvent {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.label);
+        self.changed_at.encode(w);
+    }
+    fn decode(r: &mut Reader) -> Result<Self, TraceError> {
+        Ok(ScreenEvent {
+            label: r.str()?,
+            changed_at: SimTime::decode(r)?,
+        })
+    }
+}
+
+impl Codec for CpuMeter {
+    fn encode(&self, w: &mut Writer) {
+        self.app_busy.encode(w);
+        self.controller_busy.encode(w);
+    }
+    fn decode(r: &mut Reader) -> Result<Self, TraceError> {
+        Ok(CpuMeter {
+            app_busy: SimDuration::decode(r)?,
+            controller_busy: SimDuration::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::{decode_artifact, encode_artifact};
+
+    #[test]
+    fn device_records_round_trip() {
+        let ev = ScreenEvent {
+            label: "player_progress:hide".into(),
+            changed_at: SimTime::from_micros(123_456),
+        };
+        let bytes = encode_artifact(b"QTST", 1, &ev);
+        assert_eq!(
+            decode_artifact::<ScreenEvent>(&bytes, b"QTST", 1).unwrap(),
+            ev
+        );
+
+        let cpu = CpuMeter {
+            app_busy: SimDuration::from_micros(10),
+            controller_busy: SimDuration::from_micros(3),
+        };
+        let bytes = encode_artifact(b"QTST", 1, &cpu);
+        assert_eq!(
+            decode_artifact::<CpuMeter>(&bytes, b"QTST", 1).unwrap(),
+            cpu
+        );
+    }
+}

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod codec;
 pub mod phone;
 pub mod proto;
 pub mod rpc;

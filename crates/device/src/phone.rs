@@ -42,7 +42,7 @@ pub enum UiEvent {
 }
 
 /// CPU time accounting, split by who consumed it.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CpuMeter {
     /// CPU time spent by the app itself.
     pub app_busy: SimDuration,

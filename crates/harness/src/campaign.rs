@@ -103,6 +103,9 @@ pub struct Campaign<T> {
     jobs: Vec<Job<T>>,
     sim_cap: Option<SimTime>,
     event_budget: Option<u64>,
+    /// Shared record/analyze counters when this campaign was lowered from a
+    /// [`crate::StagedCampaign`]; snapshotted into the run.
+    pub(crate) stage_counters: Option<std::sync::Arc<crate::staged::StageCounters>>,
 }
 
 impl<T: Send> Campaign<T> {
@@ -113,6 +116,7 @@ impl<T: Send> Campaign<T> {
             jobs: Vec::new(),
             sim_cap: None,
             event_budget: None,
+            stage_counters: None,
         }
     }
 
@@ -194,6 +198,14 @@ impl<T: Send> Campaign<T> {
         self
     }
 
+    /// Stamp the most recently appended job with a known simulated duration
+    /// (fallible jobs have no timed variant; staged lowering uses this).
+    pub(crate) fn set_last_sim_secs(&mut self, sim_secs: f64) {
+        if let Some(j) = self.jobs.last_mut() {
+            j.sim_secs = Some(sim_secs);
+        }
+    }
+
     /// Number of jobs in the grid.
     pub fn len(&self) -> usize {
         self.jobs.len()
@@ -222,6 +234,7 @@ impl<T: Send> Campaign<T> {
             jobs,
             sim_cap,
             event_budget,
+            stage_counters,
         } = self;
         let n = jobs.len();
         let workers = workers.max(1).min(n.max(1));
@@ -271,6 +284,7 @@ impl<T: Send> Campaign<T> {
                 .into_iter()
                 .map(|slot| slot.into_inner().unwrap().expect("job never ran"))
                 .collect(),
+            stages: stage_counters.map(|c| c.snapshot()),
         }
     }
 }
@@ -349,6 +363,9 @@ pub struct CampaignRun<T> {
     pub wall: Duration,
     /// Per-job results, in job (not completion) order.
     pub jobs: Vec<JobResult<T>>,
+    /// Record/analyze stage statistics when the campaign was lowered from a
+    /// [`crate::StagedCampaign`]; `None` for plain campaigns.
+    pub stages: Option<crate::staged::StageStats>,
 }
 
 impl<T> CampaignRun<T> {

@@ -27,7 +27,9 @@
 mod campaign;
 pub mod json;
 mod report;
+mod staged;
 
 pub use campaign::{default_workers, Campaign, CampaignRun, Job, JobResult, Outcome};
 pub use json::Json;
 pub use report::{report_json, write_report, Record};
+pub use staged::{bundle_dir, BundleRow, StageMode, StageStats, StagedCampaign};

@@ -116,17 +116,24 @@ pub fn report_json<T: Record>(run: &CampaignRun<T>) -> Json {
         })
         .collect();
 
-    Json::obj([
-        ("campaign", Json::from(run.name.as_str())),
-        ("workers", Json::from(run.workers)),
-        ("wall_ms", Json::Num(run.wall.as_secs_f64() * 1e3)),
-        ("jobs_total", Json::from(run.jobs.len())),
-        ("jobs_failed", Json::from(run.failed())),
-        ("jobs_faulted", Json::from(run.faulted())),
-        ("jobs_retried", Json::from(run.retried())),
-        ("jobs", Json::arr(jobs)),
-        ("aggregates", Json::Obj(aggregates)),
-    ])
+    let mut fields = vec![
+        ("campaign".to_string(), Json::from(run.name.as_str())),
+        ("workers".to_string(), Json::from(run.workers)),
+        (
+            "wall_ms".to_string(),
+            Json::Num(run.wall.as_secs_f64() * 1e3),
+        ),
+        ("jobs_total".to_string(), Json::from(run.jobs.len())),
+        ("jobs_failed".to_string(), Json::from(run.failed())),
+        ("jobs_faulted".to_string(), Json::from(run.faulted())),
+        ("jobs_retried".to_string(), Json::from(run.retried())),
+    ];
+    if let Some(stages) = &run.stages {
+        fields.push(("stages".to_string(), stages.to_json()));
+    }
+    fields.push(("jobs".to_string(), Json::arr(jobs)));
+    fields.push(("aggregates".to_string(), Json::Obj(aggregates)));
+    Json::Obj(fields)
 }
 
 /// Write the campaign report to `<dir>/<campaign-name>.json`, creating the

@@ -1,0 +1,631 @@
+//! Two-stage record→analyze campaigns with content-addressed caching.
+//!
+//! A [`StagedCampaign`] splits every job into a **record** closure (run the
+//! simulation, produce an artifact that implements
+//! [`trace::BundleArtifact`]) and an **analyze** closure (a pure function
+//! from that artifact to the result row). The split mirrors the paper's
+//! architecture — record on the device, analyze offline — and lowers to a
+//! plain [`Campaign`] in one of four modes:
+//!
+//! * [`StageMode::Inline`] — record then analyze in memory, exactly the
+//!   classic fused pipeline. The baseline every other mode must match
+//!   byte-for-byte.
+//! * record ([`StagedCampaign::into_record_campaign`]) — record each job
+//!   and save its bundle under a content-addressed directory; no analysis.
+//! * [`StageMode::Analyze`] — load each job's bundle from disk and run only
+//!   the analyze closure. A missing or mismatched bundle faults that job.
+//! * [`StageMode::Cached`] — content-addressed cache: load-and-analyze on a
+//!   hit, record-save-analyze on a miss. A warm cache re-runs *only*
+//!   analysis (`simulated = 0` in the stats).
+//!
+//! Bundles are keyed by `(format version, seed, config digest)`: the
+//! directory name embeds the key digest, and on load the manifest's
+//! seed/config fields are compared against the job's — a stale bundle
+//! (recorded at a different scale, or by an older format) can never be
+//! silently analyzed as something it is not.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use simcore::{SimDuration, SimTime};
+use trace::{BundleArtifact, BundleMeta, Digest, FORMAT_VERSION};
+
+use crate::campaign::Campaign;
+use crate::json::Json;
+use crate::report::Record;
+
+/// How a staged campaign's row-producing modes execute. (The record-only
+/// stage has its own entry point, [`StagedCampaign::into_record_campaign`],
+/// because it produces [`BundleRow`]s instead of result rows.)
+#[derive(Debug, Clone)]
+pub enum StageMode {
+    /// Record and analyze fused in memory (the classic pipeline).
+    Inline,
+    /// Analyze previously recorded bundles under this root; never simulate.
+    Analyze(PathBuf),
+    /// Content-addressed cache under this root: analyze cached bundles,
+    /// record the missing ones.
+    Cached(PathBuf),
+}
+
+/// Shared stage counters, updated by job closures on worker threads.
+#[derive(Debug)]
+pub struct StageCounters {
+    mode: &'static str,
+    simulated: AtomicUsize,
+    cache_hits: AtomicUsize,
+    cache_misses: AtomicUsize,
+    analyzed: AtomicUsize,
+}
+
+impl StageCounters {
+    fn new(mode: &'static str) -> Arc<StageCounters> {
+        Arc::new(StageCounters {
+            mode,
+            simulated: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            cache_misses: AtomicUsize::new(0),
+            analyzed: AtomicUsize::new(0),
+        })
+    }
+
+    pub(crate) fn snapshot(&self) -> StageStats {
+        StageStats {
+            mode: self.mode,
+            simulated: self.simulated.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            analyzed: self.analyzed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Record/analyze statistics of one staged campaign run. Counters are
+/// totals across jobs and therefore identical for `--jobs 1` and `--jobs
+/// N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// Mode the campaign ran in (`inline`, `record`, `analyze`, `cached`).
+    pub mode: &'static str,
+    /// Jobs that ran their simulation (recorded or inline).
+    pub simulated: usize,
+    /// Jobs served from an existing bundle.
+    pub cache_hits: usize,
+    /// Jobs whose bundle was missing, stale, or unreadable.
+    pub cache_misses: usize,
+    /// Jobs whose analyze closure ran.
+    pub analyzed: usize,
+}
+
+impl StageStats {
+    /// JSON form for the campaign report.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", Json::from(self.mode)),
+            ("simulated", Json::from(self.simulated)),
+            ("cache_hits", Json::from(self.cache_hits)),
+            ("cache_misses", Json::from(self.cache_misses)),
+            ("analyzed", Json::from(self.analyzed)),
+        ])
+    }
+}
+
+/// Result row of a record-only campaign: where the bundle landed.
+#[derive(Debug)]
+pub struct BundleRow {
+    /// Job label.
+    pub label: String,
+    /// Bundle directory the job wrote.
+    pub dir: PathBuf,
+}
+
+impl Record for BundleRow {
+    fn row(&self) -> String {
+        format!("recorded {:<28} -> {}", self.label, self.dir.display())
+    }
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::from(self.label.as_str())),
+            ("dir", Json::from(self.dir.display().to_string().as_str())),
+        ])
+    }
+}
+
+struct StagedJob<A, T> {
+    label: String,
+    seed: u64,
+    sim_secs: Option<f64>,
+    config_digest: u64,
+    record: Box<dyn FnOnce() -> A + Send>,
+    analyze: Box<dyn FnOnce(&A) -> T + Send>,
+}
+
+/// A campaign whose jobs are split into record and analyze stages. Build
+/// with [`StagedCampaign::job`], then lower with
+/// [`StagedCampaign::into_campaign`] (inline / analyze / cached) or
+/// [`StagedCampaign::into_record_campaign`] (record only).
+pub struct StagedCampaign<A, T> {
+    name: String,
+    jobs: Vec<StagedJob<A, T>>,
+    sim_cap: Option<SimDuration>,
+    event_budget: Option<u64>,
+}
+
+/// Content-addressed bundle directory of one job:
+/// `<root>/<campaign>/<label>-<key>` where the key digests the format
+/// version, seed, and config digest.
+pub fn bundle_dir(
+    root: &Path,
+    campaign: &str,
+    label: &str,
+    seed: u64,
+    config_digest: u64,
+) -> PathBuf {
+    let key = Digest::new()
+        .u64(FORMAT_VERSION as u64)
+        .u64(seed)
+        .u64(config_digest)
+        .finish();
+    root.join(slug(campaign))
+        .join(format!("{}-{key:016x}", slug(label)))
+}
+
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl<A: BundleArtifact + Send + 'static, T: Send + 'static> StagedCampaign<A, T> {
+    /// Empty staged campaign.
+    pub fn new(name: impl Into<String>) -> StagedCampaign<A, T> {
+        StagedCampaign {
+            name: name.into(),
+            jobs: Vec::new(),
+            sim_cap: None,
+            event_budget: None,
+        }
+    }
+
+    /// Arm a per-job simulated-time watchdog for the modes that simulate
+    /// (inline, record, cache misses). See [`Campaign::sim_cap`].
+    pub fn sim_cap(&mut self, cap: SimDuration) -> &mut Self {
+        self.sim_cap = Some(cap);
+        self
+    }
+
+    /// Arm a per-job event budget for the modes that simulate. See
+    /// [`Campaign::event_budget`].
+    pub fn event_budget(&mut self, budget: u64) -> &mut Self {
+        self.event_budget = Some(budget);
+        self
+    }
+
+    /// Append a staged job. `config_digest` must cover every parameter
+    /// (besides the seed) that shapes what `record` simulates — it is the
+    /// job's cache identity. `analyze` must be pure: same artifact, same
+    /// row.
+    pub fn job(
+        &mut self,
+        label: impl Into<String>,
+        seed: u64,
+        config_digest: u64,
+        record: impl FnOnce() -> A + Send + 'static,
+        analyze: impl FnOnce(&A) -> T + Send + 'static,
+    ) -> &mut Self {
+        self.jobs.push(StagedJob {
+            label: label.into(),
+            seed,
+            sim_secs: None,
+            config_digest,
+            record: Box::new(record),
+            analyze: Box::new(analyze),
+        });
+        self
+    }
+
+    /// Append a staged job that covers a known simulated duration.
+    pub fn timed_job(
+        &mut self,
+        label: impl Into<String>,
+        seed: u64,
+        sim_secs: f64,
+        config_digest: u64,
+        record: impl FnOnce() -> A + Send + 'static,
+        analyze: impl FnOnce(&A) -> T + Send + 'static,
+    ) -> &mut Self {
+        self.jobs.push(StagedJob {
+            label: label.into(),
+            seed,
+            sim_secs: Some(sim_secs),
+            config_digest,
+            record: Box::new(record),
+            analyze: Box::new(analyze),
+        });
+        self
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    fn base_campaign(&self, counters: &Arc<StageCounters>, simulates: bool) -> Campaign<T> {
+        let mut c: Campaign<T> = Campaign::new(self.name.clone());
+        if simulates {
+            if let Some(cap) = self.sim_cap {
+                c.sim_cap(cap);
+            }
+            if let Some(budget) = self.event_budget {
+                c.event_budget(budget);
+            }
+        }
+        c.stage_counters = Some(Arc::clone(counters));
+        c
+    }
+
+    /// Lower to a plain row-producing [`Campaign`] in `mode`.
+    ///
+    /// Whatever the mode, each job's row comes from the *same* analyze
+    /// closure over the *same* (in-memory or round-tripped) artifact, so
+    /// rows — and anything printed from them — are byte-identical across
+    /// modes, provided the bundle round-trip is lossless.
+    pub fn into_campaign(self, mode: &StageMode) -> Campaign<T> {
+        let meta_for = |name: &str, j: &StagedJob<A, T>| BundleMeta {
+            seed: j.seed,
+            config_digest: j.config_digest,
+            scenario: format!("{name}/{}", j.label),
+            end: SimTime::ZERO,
+        };
+        match mode {
+            StageMode::Inline => {
+                let counters = StageCounters::new("inline");
+                let mut c = self.base_campaign(&counters, true);
+                for j in self.jobs {
+                    let counters = Arc::clone(&counters);
+                    let StagedJob {
+                        label,
+                        seed,
+                        sim_secs,
+                        record,
+                        analyze,
+                        ..
+                    } = j;
+                    let run = move || {
+                        counters.simulated.fetch_add(1, Ordering::Relaxed);
+                        let artifact = record();
+                        counters.analyzed.fetch_add(1, Ordering::Relaxed);
+                        analyze(&artifact)
+                    };
+                    match sim_secs {
+                        Some(s) => c.timed_job(label, seed, s, run),
+                        None => c.job(label, seed, run),
+                    };
+                }
+                c
+            }
+            StageMode::Analyze(root) => {
+                let counters = StageCounters::new("analyze");
+                let mut c = self.base_campaign(&counters, false);
+                let name = self.name;
+                for j in self.jobs {
+                    let counters = Arc::clone(&counters);
+                    let dir = bundle_dir(root, &name, &j.label, j.seed, j.config_digest);
+                    let want = meta_for(&name, &j);
+                    let StagedJob {
+                        label,
+                        seed,
+                        sim_secs,
+                        analyze,
+                        ..
+                    } = j;
+                    let mut analyze = Some(analyze);
+                    let run = move |_attempt: u32| -> Result<T, String> {
+                        let analyze = analyze.take().expect("analyze ran twice");
+                        let (artifact, meta) = match A::load_bundle(&dir) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                                return Err(format!(
+                                    "no usable bundle at {}: {e} (run `record` first)",
+                                    dir.display()
+                                ));
+                            }
+                        };
+                        if let Err(e) = check_identity(&meta, &want) {
+                            counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                            return Err(format!("bundle {} is stale: {e}", dir.display()));
+                        }
+                        counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        let row = analyze(&artifact);
+                        counters.analyzed.fetch_add(1, Ordering::Relaxed);
+                        Ok(row)
+                    };
+                    match sim_secs {
+                        Some(s) => {
+                            // Keep the journal's sim_secs: the bundle covers
+                            // that much simulated time even if analysis
+                            // itself simulates nothing.
+                            c.fallible_job(label, seed, 1, run);
+                            c.set_last_sim_secs(s);
+                        }
+                        None => {
+                            c.fallible_job(label, seed, 1, run);
+                        }
+                    }
+                }
+                c
+            }
+            StageMode::Cached(root) => {
+                let counters = StageCounters::new("cached");
+                let mut c = self.base_campaign(&counters, true);
+                let name = self.name;
+                for j in self.jobs {
+                    let counters = Arc::clone(&counters);
+                    let dir = bundle_dir(root, &name, &j.label, j.seed, j.config_digest);
+                    let want = meta_for(&name, &j);
+                    let StagedJob {
+                        label,
+                        seed,
+                        sim_secs,
+                        record,
+                        analyze,
+                        ..
+                    } = j;
+                    let mut stage = Some((record, analyze));
+                    let run = move |_attempt: u32| -> Result<T, String> {
+                        let (record, analyze) = stage.take().expect("job ran twice");
+                        let artifact = match A::load_bundle(&dir) {
+                            Ok((artifact, meta)) if check_identity(&meta, &want).is_ok() => {
+                                counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                                artifact
+                            }
+                            _ => {
+                                // Missing, unreadable, or stale: re-record.
+                                counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                                if dir.exists() {
+                                    std::fs::remove_dir_all(&dir).map_err(|e| {
+                                        format!("cannot clear stale bundle {}: {e}", dir.display())
+                                    })?;
+                                }
+                                counters.simulated.fetch_add(1, Ordering::Relaxed);
+                                let artifact = record();
+                                artifact.save_bundle(&dir, &want).map_err(|e| {
+                                    format!("cannot save bundle {}: {e}", dir.display())
+                                })?;
+                                artifact
+                            }
+                        };
+                        let row = analyze(&artifact);
+                        counters.analyzed.fetch_add(1, Ordering::Relaxed);
+                        Ok(row)
+                    };
+                    c.fallible_job(label, seed, 1, run);
+                    if let Some(s) = sim_secs {
+                        c.set_last_sim_secs(s);
+                    }
+                }
+                c
+            }
+        }
+    }
+
+    /// Lower to a record-only [`Campaign`]: every job simulates, saves its
+    /// bundle under `root`, and reports where it landed.
+    pub fn into_record_campaign(self, root: &Path) -> Campaign<BundleRow> {
+        let counters = StageCounters::new("record");
+        let mut c: Campaign<BundleRow> = Campaign::new(self.name.clone());
+        if let Some(cap) = self.sim_cap {
+            c.sim_cap(cap);
+        }
+        if let Some(budget) = self.event_budget {
+            c.event_budget(budget);
+        }
+        c.stage_counters = Some(Arc::clone(&counters));
+        let name = self.name;
+        for j in self.jobs {
+            let counters = Arc::clone(&counters);
+            let dir = bundle_dir(root, &name, &j.label, j.seed, j.config_digest);
+            let meta = BundleMeta {
+                seed: j.seed,
+                config_digest: j.config_digest,
+                scenario: format!("{name}/{}", j.label),
+                end: SimTime::ZERO,
+            };
+            let StagedJob {
+                label,
+                seed,
+                sim_secs,
+                record,
+                ..
+            } = j;
+            let row_label = label.clone();
+            let mut record = Some(record);
+            let run = move |_attempt: u32| -> Result<BundleRow, String> {
+                let record = record.take().expect("record ran twice");
+                counters.simulated.fetch_add(1, Ordering::Relaxed);
+                let artifact = record();
+                if dir.exists() {
+                    std::fs::remove_dir_all(&dir)
+                        .map_err(|e| format!("cannot clear {}: {e}", dir.display()))?;
+                }
+                artifact
+                    .save_bundle(&dir, &meta)
+                    .map_err(|e| format!("cannot save bundle {}: {e}", dir.display()))?;
+                Ok(BundleRow {
+                    label: row_label.clone(),
+                    dir: dir.clone(),
+                })
+            };
+            c.fallible_job(label, seed, 1, run);
+            if let Some(s) = sim_secs {
+                c.set_last_sim_secs(s);
+            }
+        }
+        c
+    }
+}
+
+/// Compare a loaded bundle's identity against the job's expectation.
+fn check_identity(found: &BundleMeta, want: &BundleMeta) -> Result<(), String> {
+    if found.seed != want.seed {
+        return Err(format!("seed {} (expected {})", found.seed, want.seed));
+    }
+    if found.config_digest != want.config_digest {
+        return Err(format!(
+            "config digest {:016x} (expected {:016x}; recorded at a different scale?)",
+            found.config_digest, want.config_digest
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use trace::{BundleReader, BundleWriter, TraceError};
+
+    /// Minimal artifact for exercising the staged executor.
+    #[derive(Debug, PartialEq)]
+    struct Blob(u64);
+
+    impl BundleArtifact for Blob {
+        fn save_bundle(&self, dir: &Path, meta: &BundleMeta) -> Result<(), TraceError> {
+            let mut w = BundleWriter::create(dir, meta)?;
+            w.artifact("blob", "blob.bin", &self.0.to_le_bytes())?;
+            w.finish()
+        }
+        fn load_bundle(dir: &Path) -> Result<(Blob, BundleMeta), TraceError> {
+            let r = BundleReader::open(dir)?;
+            let bytes = r.artifact("blob")?;
+            let arr: [u8; 8] = bytes
+                .as_slice()
+                .try_into()
+                .map_err(|_| TraceError::UnexpectedEof)?;
+            Ok((Blob(u64::from_le_bytes(arr)), r.meta()))
+        }
+    }
+
+    fn staged(n: u64) -> StagedCampaign<Blob, String> {
+        let mut s: StagedCampaign<Blob, String> = StagedCampaign::new("staged/test");
+        for i in 0..n {
+            s.job(
+                format!("cell {i}"),
+                100 + i,
+                0xABC + i,
+                move || Blob(i * 10),
+                |b: &Blob| format!("value={}", b.0),
+            );
+        }
+        s
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("staged-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn inline_mode_counts_and_rows() {
+        let run = staged(3).into_campaign(&StageMode::Inline).run(2);
+        let stats = run.stages.expect("staged run has stats");
+        assert_eq!(stats.mode, "inline");
+        assert_eq!(stats.simulated, 3);
+        assert_eq!(stats.analyzed, 3);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(run.into_outputs(), vec!["value=0", "value=10", "value=20"]);
+    }
+
+    #[test]
+    fn record_then_analyze_matches_inline() {
+        let root = tmp("rec-an");
+        let rec = staged(3).into_record_campaign(&root).run(2);
+        assert_eq!(rec.stages.unwrap().simulated, 3);
+        assert_eq!(rec.failed() + rec.faulted(), 0);
+
+        let inline_rows = staged(3)
+            .into_campaign(&StageMode::Inline)
+            .run(1)
+            .into_outputs();
+        for workers in [1, 4] {
+            let an = staged(3)
+                .into_campaign(&StageMode::Analyze(root.clone()))
+                .run(workers);
+            let stats = an.stages.unwrap();
+            assert_eq!(stats.simulated, 0, "analyze mode must never simulate");
+            assert_eq!(stats.cache_hits, 3);
+            assert_eq!(an.into_outputs(), inline_rows);
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn analyze_without_bundles_faults_each_job() {
+        let root = tmp("missing");
+        let run = staged(2)
+            .into_campaign(&StageMode::Analyze(root.clone()))
+            .run(1);
+        assert_eq!(run.faulted(), 2);
+        let stats = run.stages.unwrap();
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.analyzed, 0);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cached_mode_misses_then_hits() {
+        let root = tmp("cache");
+        let cold = staged(3)
+            .into_campaign(&StageMode::Cached(root.clone()))
+            .run(2);
+        let stats = cold.stages.unwrap();
+        assert_eq!(stats.cache_misses, 3);
+        assert_eq!(stats.simulated, 3);
+        let cold_rows = cold.into_outputs();
+
+        let warm = staged(3)
+            .into_campaign(&StageMode::Cached(root.clone()))
+            .run(2);
+        let stats = warm.stages.unwrap();
+        assert_eq!(stats.cache_hits, 3);
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.simulated, 0, "warm cache must not simulate");
+        assert_eq!(warm.into_outputs(), cold_rows);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn changed_config_digest_is_a_cache_miss() {
+        let root = tmp("stale");
+        staged(1)
+            .into_campaign(&StageMode::Cached(root.clone()))
+            .run(1);
+        // Same label/seed, different config digest → different directory →
+        // miss (content addressing); the old bundle simply isn't found.
+        let mut s: StagedCampaign<Blob, String> = StagedCampaign::new("staged/test");
+        s.job(
+            "cell 0",
+            100,
+            0xD1FF,
+            || Blob(0),
+            |b: &Blob| format!("value={}", b.0),
+        );
+        let run = s.into_campaign(&StageMode::Cached(root.clone())).run(1);
+        assert_eq!(run.stages.unwrap().cache_misses, 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

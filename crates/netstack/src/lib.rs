@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod codec;
 pub mod dns;
 pub mod host;
 pub mod link;

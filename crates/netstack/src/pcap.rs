@@ -103,6 +103,21 @@ impl Capture {
     }
 }
 
+/// File magic of a persisted packet trace (the pcap stand-in).
+pub const TRACE_MAGIC: &[u8; 4] = b"QPCP";
+
+/// Serialize a packet trace to its on-disk form: magic + format version +
+/// timestamped [`PacketRecord`] frames (the pcap-like framing).
+pub fn write_trace(trace: &RecordLog<PacketRecord>) -> Vec<u8> {
+    trace::encode_artifact(TRACE_MAGIC, trace::FORMAT_VERSION, trace)
+}
+
+/// Parse a packet trace produced by [`write_trace`], rejecting wrong
+/// magic/version, truncation, and out-of-order timestamps.
+pub fn read_trace(bytes: &[u8]) -> Result<RecordLog<PacketRecord>, trace::TraceError> {
+    trace::decode_artifact(bytes, TRACE_MAGIC, trace::FORMAT_VERSION)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +159,17 @@ mod tests {
         let (up, down) = cap.volume();
         assert_eq!(up, 140);
         assert_eq!(down, 240);
+    }
+
+    #[test]
+    fn trace_round_trips_through_bytes() {
+        let mut cap = Capture::new();
+        cap.record(Direction::Uplink, &pkt(1, 100), SimTime::from_secs(1));
+        cap.record(Direction::Downlink, &pkt(2, 200), SimTime::from_secs(2));
+        let trace = cap.take_trace();
+        let bytes = write_trace(&trace);
+        assert_eq!(read_trace(&bytes).unwrap(), trace);
+        assert!(read_trace(&bytes[..bytes.len() - 3]).is_err());
     }
 
     #[test]

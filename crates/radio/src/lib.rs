@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod bearer;
+pub mod codec;
 pub mod power;
 pub mod qxdm;
 pub mod rlc;

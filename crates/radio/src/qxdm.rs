@@ -41,6 +41,26 @@ impl Default for QxdmConfig {
     }
 }
 
+impl QxdmConfig {
+    /// Check every field is usable: record-loss rates must be finite
+    /// probabilities. Same contract as `LinkConfig::validate` — a NaN or
+    /// out-of-range rate would silently bias the `chance()` draw instead of
+    /// failing, so constructors reject it outright.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("ul_record_loss", self.ul_record_loss),
+            ("dl_record_loss", self.dl_record_loss),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(format!(
+                    "QxdmConfig.{name} must be a probability in [0, 1], got {v}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// What QxDM records about one PDU — note: no packet identity, only the
 /// first two payload bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,7 +91,7 @@ pub struct StatusRecord {
 }
 
 /// The diagnostic log an analyzer consumes.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct QxdmLog {
     /// RRC state transitions.
     pub rrc: RecordLog<RrcTransition>,
@@ -94,7 +114,13 @@ pub struct Qxdm {
 
 impl Qxdm {
     /// New logger.
+    ///
+    /// # Panics
+    /// If `cfg` fails [`QxdmConfig::validate`].
     pub fn new(cfg: QxdmConfig, rng: DetRng) -> Qxdm {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid QxdmConfig: {e}");
+        }
         Qxdm {
             cfg,
             rng,
@@ -160,6 +186,43 @@ impl Qxdm {
 mod tests {
     use super::*;
     use crate::rrc::RrcState;
+
+    #[test]
+    fn config_validation_rejects_nan_and_out_of_range() {
+        assert!(QxdmConfig::default().validate().is_ok());
+        for bad in [f64::NAN, f64::INFINITY, -0.01, 1.01] {
+            let cfg = QxdmConfig {
+                ul_record_loss: bad,
+                ..QxdmConfig::default()
+            };
+            assert!(cfg.validate().is_err(), "ul_record_loss {bad} accepted");
+            let cfg = QxdmConfig {
+                dl_record_loss: bad,
+                ..QxdmConfig::default()
+            };
+            assert!(cfg.validate().is_err(), "dl_record_loss {bad} accepted");
+        }
+        // Boundary values are legal probabilities.
+        assert!(QxdmConfig {
+            ul_record_loss: 0.0,
+            dl_record_loss: 1.0,
+            log_pdus: true,
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid QxdmConfig")]
+    fn constructor_panics_on_invalid_config() {
+        let _ = Qxdm::new(
+            QxdmConfig {
+                dl_record_loss: f64::NAN,
+                ..QxdmConfig::default()
+            },
+            DetRng::seed_from_u64(1),
+        );
+    }
 
     fn ev(dir: Direction, sn: u32) -> PduEvent {
         PduEvent {

@@ -20,7 +20,7 @@ use netstack::IpPacket;
 use qoe_doctor::analyze::crosslayer::{
     long_jump_map_with, score_mapping, MapperOptions, MappingScore,
 };
-use qoe_doctor::Controller;
+use qoe_doctor::{Collection, CollectionSet, Controller};
 use simcore::{SimDuration, SimTime};
 use std::fmt;
 
@@ -51,7 +51,12 @@ impl fmt::Display for MapperAblationRow {
 
 /// Run the mapper ablation on a 3G photo-upload trace.
 pub fn mapper_ablation(reps: usize, seed: u64) -> Vec<MapperAblationRow> {
-    let col = run_posts(PostKind::Photos, NetKind::Umts3g, reps, seed);
+    mapper_rows(&run_posts(PostKind::Photos, NetKind::Umts3g, reps, seed))
+}
+
+/// Score the mapper configurations against a recorded photo-upload trace.
+/// Evaluation-only: scoring reads the segregated `pdu_truth` ground truth.
+fn mapper_rows(col: &Collection) -> Vec<MapperAblationRow> {
     let qxdm = col.qxdm.as_ref().expect("cellular");
     let truth = col.pdu_truth.as_ref().expect("truth");
     let configs: [(&'static str, MapperOptions); 4] = [
@@ -124,8 +129,12 @@ impl fmt::Display for CalibrationRow {
 
 /// Measure the calibration's contribution on status posts.
 pub fn calibration_ablation(reps: usize, seed: u64) -> CalibrationRow {
+    calibration_row(&run_posts(PostKind::Status, NetKind::Lte, reps, seed))
+}
+
+/// Compute raw-vs-calibrated error from a recorded status-post session.
+fn calibration_row(col: &Collection) -> CalibrationRow {
     use qoe_doctor::analyze::app::screen_event_at;
-    let col = run_posts(PostKind::Status, NetKind::Lte, reps, seed);
     let mut raw = Vec::new();
     let mut cal = Vec::new();
     for (_, rec) in col.behavior.iter() {
@@ -190,24 +199,59 @@ pub enum AblationPart {
     Discipline(Vec<DisciplineRow>),
 }
 
-/// The three ablation studies as one campaign, in report order.
+/// The three ablation studies as one two-stage campaign, in report order.
+pub fn staged(
+    mapper_reps: usize,
+    cal_reps: usize,
+    rate_bps: f64,
+    seed: u64,
+) -> harness::StagedCampaign<CollectionSet, AblationPart> {
+    let mut c = harness::StagedCampaign::new("ablation");
+    c.job(
+        "mapper",
+        seed,
+        crate::stage::config_digest("ablation", "mapper", &[mapper_reps as u64]),
+        move || {
+            CollectionSet::single(run_posts(
+                PostKind::Photos,
+                NetKind::Umts3g,
+                mapper_reps,
+                seed,
+            ))
+        },
+        |set: &CollectionSet| {
+            AblationPart::Mapper(mapper_rows(set.get("session").expect("mapper session")))
+        },
+    );
+    c.job(
+        "calibration",
+        seed,
+        crate::stage::config_digest("ablation", "calibration", &[cal_reps as u64]),
+        move || CollectionSet::single(run_posts(PostKind::Status, NetKind::Lte, cal_reps, seed)),
+        |set: &CollectionSet| {
+            AblationPart::Calibration(calibration_row(
+                set.get("session").expect("calibration session"),
+            ))
+        },
+    );
+    c.job(
+        "discipline",
+        seed,
+        crate::stage::config_digest_rate("ablation", "discipline", &[], rate_bps),
+        move || discipline_sessions(rate_bps, seed),
+        |set: &CollectionSet| AblationPart::Discipline(discipline_rows(set)),
+    );
+    c
+}
+
+/// The three ablation studies as a plain (fused record+analyze) campaign.
 pub fn campaign(
     mapper_reps: usize,
     cal_reps: usize,
     rate_bps: f64,
     seed: u64,
 ) -> harness::Campaign<AblationPart> {
-    let mut c = harness::Campaign::new("ablation");
-    c.job("mapper", seed, move || {
-        AblationPart::Mapper(mapper_ablation(mapper_reps, seed))
-    });
-    c.job("calibration", seed, move || {
-        AblationPart::Calibration(calibration_ablation(cal_reps, seed))
-    });
-    c.job("discipline", seed, move || {
-        AblationPart::Discipline(discipline_ablation(rate_bps, seed))
-    });
-    c
+    staged(mapper_reps, cal_reps, rate_bps, seed).into_campaign(&harness::StageMode::Inline)
 }
 
 /// Same token rate, same technology (LTE), shaping vs policing: isolates
@@ -215,50 +259,91 @@ pub fn campaign(
 /// differences. Shaping should show a smooth plateau near the token rate
 /// with few retransmissions; policing a lower, bursty mean with many.
 pub fn discipline_ablation(rate_bps: f64, seed: u64) -> Vec<DisciplineRow> {
-    use netstack::ShaperConfig;
-    use qoe_doctor::analyze::transport::{downlink_throughput, TransportReport};
+    discipline_rows(&discipline_sessions(rate_bps, seed))
+}
+
+/// Record one custom-bearer LTE watch session with `cfg` applied to both
+/// directions.
+fn discipline_session(cfg: netstack::ShaperConfig, seed: u64) -> Collection {
     use radio::bearer::BearerConfig;
 
-    let run = |label: &'static str, cfg: ShaperConfig| -> DisciplineRow {
-        let mut bearer = BearerConfig::lte();
-        bearer.limiter_dl = Some(cfg.clone());
-        bearer.limiter_ul = Some(cfg);
-        bearer.qxdm.log_pdus = false;
-        let video = VideoSpec {
-            name: "abl".into(),
-            duration: SimDuration::from_secs(200),
-            bitrate_bps: 450e3,
-        };
-        // Assemble via the scenario builder, then swap in the custom bearer.
-        let mut world = youtube_world(vec![video], None, NetKind::Lte, seed, true);
-        let mut rng = simcore::DetRng::seed_from_u64(seed ^ 0xD15C);
-        world.phone.net =
-            device::NetAttachment::Cell(Box::new(radio::bearer::CellBearer::new(bearer, &mut rng)));
-        let mut doctor = Controller::new(world);
-        doctor.advance(SimDuration::from_secs(5));
-        doctor.interact(&UiEvent::TypeText {
-            target: ViewSignature::by_id("search_box"),
-            text: String::new(),
-        });
-        doctor.interact(&UiEvent::KeyEnter);
-        doctor.advance(SimDuration::from_secs(5));
-        doctor.interact(&UiEvent::Click {
-            target: ViewSignature::by_id("result_abl"),
-        });
-        let report = doctor.monitor_playback("video", SimDuration::from_secs(280));
-        let col = doctor.collect();
-        let series = downlink_throughput(&col.trace, 1.0);
-        let tr = TransportReport::analyze(&col.trace);
-        DisciplineRow {
-            label,
-            mean_bps: series.mean(),
-            std_bps: series.std_dev(),
-            retx: tr.total_retx(),
-            rebuffering: report.rebuffering_ratio(),
-        }
+    let mut bearer = BearerConfig::lte();
+    bearer.limiter_dl = Some(cfg.clone());
+    bearer.limiter_ul = Some(cfg);
+    bearer.qxdm.log_pdus = false;
+    let video = VideoSpec {
+        name: "abl".into(),
+        duration: SimDuration::from_secs(200),
+        bitrate_bps: 450e3,
     };
+    // Assemble via the scenario builder, then swap in the custom bearer.
+    let mut world = youtube_world(vec![video], None, NetKind::Lte, seed, true);
+    let mut rng = simcore::DetRng::seed_from_u64(seed ^ 0xD15C);
+    world.phone.net =
+        device::NetAttachment::Cell(Box::new(radio::bearer::CellBearer::new(bearer, &mut rng)));
+    let mut doctor = Controller::new(world);
+    doctor.advance(SimDuration::from_secs(5));
+    doctor.interact(&UiEvent::TypeText {
+        target: ViewSignature::by_id("search_box"),
+        text: String::new(),
+    });
+    doctor.interact(&UiEvent::KeyEnter);
+    doctor.advance(SimDuration::from_secs(5));
+    doctor.interact(&UiEvent::Click {
+        target: ViewSignature::by_id("result_abl"),
+    });
+    doctor.monitor_playback("video", SimDuration::from_secs(280));
+    doctor.collect()
+}
+
+/// Record both discipline sessions as one named set.
+fn discipline_sessions(rate_bps: f64, seed: u64) -> CollectionSet {
+    use netstack::ShaperConfig;
+    CollectionSet {
+        items: vec![
+            (
+                "shaping".to_string(),
+                discipline_session(ShaperConfig::shaping(rate_bps), seed),
+            ),
+            (
+                "policing".to_string(),
+                discipline_session(ShaperConfig::policing(rate_bps), seed),
+            ),
+        ],
+    }
+}
+
+/// Compute one discipline row from a recorded session; the rebuffering
+/// ratio comes from the playback summary record in the behaviour log.
+fn discipline_row(col: &Collection, label: &'static str) -> DisciplineRow {
+    use qoe_doctor::analyze::app::playback_reports;
+    use qoe_doctor::analyze::transport::{downlink_throughput, TransportReport};
+
+    let series = downlink_throughput(&col.trace, 1.0);
+    let tr = TransportReport::analyze(&col.trace);
+    let rebuffering = playback_reports(&col.behavior, "video")
+        .first()
+        .map(|r| r.rebuffering_ratio())
+        .unwrap_or(0.0);
+    DisciplineRow {
+        label,
+        mean_bps: series.mean(),
+        std_bps: series.std_dev(),
+        retx: tr.total_retx(),
+        rebuffering,
+    }
+}
+
+/// Both discipline rows from a recorded session set, in report order.
+fn discipline_rows(set: &CollectionSet) -> Vec<DisciplineRow> {
     vec![
-        run("LTE + shaping", ShaperConfig::shaping(rate_bps)),
-        run("LTE + policing", ShaperConfig::policing(rate_bps)),
+        discipline_row(
+            set.get("shaping").expect("shaping session"),
+            "LTE + shaping",
+        ),
+        discipline_row(
+            set.get("policing").expect("policing session"),
+            "LTE + policing",
+        ),
     ]
 }

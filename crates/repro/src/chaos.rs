@@ -139,6 +139,9 @@ fn attribute(crashes: u32, ui_frozen: bool, worst: Option<&qoe_doctor::Diagnosis
 fn worst_diagnosis(col: &Collection) -> Option<qoe_doctor::Diagnosis> {
     col.behavior
         .iter()
+        // `:playback` summaries span whole sessions (they would always win
+        // the max); the waits the user actually felt are the other records.
+        .filter(|(_, rec)| !rec.action.ends_with(":playback"))
         .max_by_key(|(_, rec)| rec.raw())
         .map(|(_, rec)| diagnose(rec, col))
 }

@@ -1,0 +1,63 @@
+//! CLI helpers: experiment-name matching for friendlier usage errors.
+
+/// Every experiment id the binary accepts (including aliases).
+pub const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "exp76", "exp77", "ablation",
+    "chaos", "bench", "all",
+];
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // One rolling row of the DP matrix.
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev_diag + usize::from(ca != cb);
+            prev_diag = row[j + 1];
+            row[j + 1] = sub.min(row[j] + 1).min(prev_diag + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// The closest experiment id to `input`, if any is close enough to be a
+/// plausible typo (distance at most 2, and strictly less than the length
+/// of the input so that arbitrary short strings don't match).
+pub fn closest_experiment(input: &str) -> Option<&'static str> {
+    EXPERIMENTS
+        .iter()
+        .map(|c| (edit_distance(input, c), *c))
+        .min_by_key(|(d, _)| *d)
+        .filter(|(d, _)| *d <= 2 && *d < input.chars().count())
+        .map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(edit_distance("fig17", "fig17"), 0);
+        assert_eq!(edit_distance("fig17", "fig7"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn suggests_plausible_typos_only() {
+        assert_eq!(closest_experiment("fig71"), Some("fig7"));
+        assert_eq!(closest_experiment("tabel3"), Some("table3"));
+        assert_eq!(closest_experiment("ablatoin"), Some("ablation"));
+        assert_eq!(closest_experiment("chaoss"), Some("chaos"));
+        // Nothing resembles this; no suggestion.
+        assert_eq!(closest_experiment("zzzzzzzzz"), None);
+        // Exact ids are obviously their own closest match.
+        assert_eq!(closest_experiment("fig17"), Some("fig17"));
+    }
+}

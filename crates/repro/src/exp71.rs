@@ -14,7 +14,7 @@ use netstack::pcap::Direction;
 use netstack::IpPacket;
 use qoe_doctor::analyze::app::{accuracy_span, accuracy_trigger, AccuracySample};
 use qoe_doctor::analyze::crosslayer::{long_jump_map, score_mapping, MappingScore};
-use qoe_doctor::{BehaviorRecord, Controller, WaitCondition};
+use qoe_doctor::{Collection, Controller, WaitCondition};
 use simcore::{SimDuration, SimTime};
 use std::fmt;
 
@@ -80,8 +80,9 @@ fn summarize(metric: &'static str, samples: &[AccuracySample]) -> MetricAccuracy
     }
 }
 
-/// Facebook post-update accuracy: status posts on LTE.
-fn posts_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
+/// Record the status-post accuracy session: status posts on LTE with the
+/// screen ground truth enabled.
+fn posts_session(reps: usize, seed: u64) -> Collection {
     let world = facebook_world(
         FbVersion::ListView50,
         None,
@@ -94,37 +95,47 @@ fn posts_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
     );
     let mut doctor = Controller::new(world);
     doctor.advance(SimDuration::from_secs(10));
-    let mut labelled: Vec<(BehaviorRecord, String)> = Vec::new();
     for rep in 0..reps {
         let text = format!("status: accuracy ts#{rep}");
         doctor.interact(&UiEvent::TypeText {
             target: ViewSignature::by_id("composer"),
             text: text.clone(),
         });
-        let m = doctor.measure_after(
+        doctor.measure_after(
             "upload_post:status",
             &UiEvent::Click {
                 target: ViewSignature::by_id("post_button"),
             },
             &WaitCondition::TextAppears {
                 container: "news_feed".into(),
-                needle: text.clone(),
+                needle: text,
             },
             SimDuration::from_secs(60),
         );
-        labelled.push((m.record, format!("news_feed:item:{text}")));
         doctor.advance(SimDuration::from_secs(2));
     }
-    let col = doctor.collect();
-    let samples: Vec<AccuracySample> = labelled
+    doctor.collect()
+}
+
+/// Facebook post-update accuracy from a recorded session. The rep index of
+/// each `upload_post:status` record (they log in replay order) rebuilds the
+/// camera label the live controller knew.
+fn posts_accuracy_from(col: &Collection) -> MetricAccuracy {
+    let samples: Vec<AccuracySample> = col
+        .behavior
         .iter()
-        .filter_map(|(rec, label)| accuracy_trigger(rec, &col.camera, label))
+        .filter(|(_, r)| r.action == "upload_post:status")
+        .enumerate()
+        .filter_map(|(rep, (_, rec))| {
+            let label = format!("news_feed:item:status: accuracy ts#{rep}");
+            accuracy_trigger(rec, &col.camera, &label)
+        })
         .collect();
     summarize("Facebook post updates", &samples)
 }
 
-/// Pull-to-update accuracy (span metric).
-fn pull_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
+/// Record the pull-to-update accuracy session (span metric).
+fn pull_session(reps: usize, seed: u64) -> Collection {
     let world = facebook_world(
         FbVersion::ListView50,
         None,
@@ -137,9 +148,8 @@ fn pull_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
     );
     let mut doctor = Controller::new(world);
     doctor.advance(SimDuration::from_secs(5));
-    let mut records = Vec::new();
     for _ in 0..reps {
-        if let Some(m) = doctor.measure_span(
+        doctor.measure_span(
             "pull_to_update",
             &WaitCondition::Shown {
                 id: "feed_progress".into(),
@@ -148,22 +158,28 @@ fn pull_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
                 id: "feed_progress".into(),
             },
             SimDuration::from_secs(60),
-        ) {
-            records.push(m.record);
-        }
+        );
     }
-    let col = doctor.collect();
-    let samples: Vec<AccuracySample> = records
+    doctor.collect()
+}
+
+/// Pull-to-update accuracy from a recorded session. `measure_span` logs
+/// exactly the records it returns, so filtering the behaviour log by action
+/// rebuilds the live record list.
+fn pull_accuracy_from(col: &Collection) -> MetricAccuracy {
+    let samples: Vec<AccuracySample> = col
+        .behavior
         .iter()
-        .filter_map(|rec| {
+        .filter(|(_, r)| r.action == "pull_to_update")
+        .filter_map(|(_, rec)| {
             accuracy_span(rec, &col.camera, "feed_progress:show", "feed_progress:hide")
         })
         .collect();
     summarize("Facebook pull-to-update", &samples)
 }
 
-/// YouTube initial loading + rebuffering accuracy.
-fn video_accuracy(reps: usize, seed: u64) -> (MetricAccuracy, MetricAccuracy) {
+/// Record the YouTube initial-loading + rebuffering accuracy session.
+fn video_session(reps: usize, seed: u64) -> Collection {
     // Throttled 3G induces rebuffering events for the span metric.
     let videos: Vec<VideoSpec> = (0..reps)
         .map(|i| VideoSpec {
@@ -187,9 +203,8 @@ fn video_accuracy(reps: usize, seed: u64) -> (MetricAccuracy, MetricAccuracy) {
     });
     doctor.interact(&UiEvent::KeyEnter);
     doctor.advance(SimDuration::from_secs(10));
-    let mut loading_records = Vec::new();
     for spec in &videos {
-        let m = doctor.measure_after(
+        doctor.measure_after(
             "video:initial_loading",
             &UiEvent::Click {
                 target: ViewSignature::by_id(&format!("result_{}", spec.name)),
@@ -199,16 +214,19 @@ fn video_accuracy(reps: usize, seed: u64) -> (MetricAccuracy, MetricAccuracy) {
             },
             SimDuration::from_secs(200),
         );
-        if !m.record.timed_out {
-            loading_records.push(m.record);
-        }
         doctor.monitor_playback("video", SimDuration::from_secs(200));
         doctor.advance(SimDuration::from_secs(3));
     }
-    let col = doctor.collect();
-    let loading: Vec<AccuracySample> = loading_records
+    doctor.collect()
+}
+
+/// YouTube initial loading + rebuffering accuracy from a recorded session.
+fn video_accuracy_from(col: &Collection) -> (MetricAccuracy, MetricAccuracy) {
+    let loading: Vec<AccuracySample> = col
+        .behavior
         .iter()
-        .filter_map(|rec| accuracy_trigger(rec, &col.camera, "player_progress:hide"))
+        .filter(|(_, r)| r.action == "video:initial_loading" && !r.timed_out)
+        .filter_map(|(_, rec)| accuracy_trigger(rec, &col.camera, "player_progress:hide"))
         .collect();
     let rebuffer: Vec<AccuracySample> = col
         .behavior
@@ -232,8 +250,8 @@ fn video_accuracy(reps: usize, seed: u64) -> (MetricAccuracy, MetricAccuracy) {
     )
 }
 
-/// Page-load accuracy.
-fn page_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
+/// Record the page-load accuracy session.
+fn page_session(reps: usize, seed: u64) -> Collection {
     let world = browser_world(BrowserConfig::chrome(), NetKind::Wifi, seed);
     let mut doctor = Controller::new(world);
     doctor.advance(SimDuration::from_secs(2));
@@ -241,9 +259,8 @@ fn page_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
         target: ViewSignature::by_id("url_bar"),
         text: "http://www.example.com/".into(),
     });
-    let mut records = Vec::new();
     for _ in 0..reps {
-        let m = doctor.measure_after(
+        doctor.measure_after(
             "page_load",
             &UiEvent::KeyEnter,
             &WaitCondition::Hidden {
@@ -251,15 +268,18 @@ fn page_accuracy(reps: usize, seed: u64) -> MetricAccuracy {
             },
             SimDuration::from_secs(60),
         );
-        if !m.record.timed_out {
-            records.push(m.record);
-        }
         doctor.advance(SimDuration::from_secs(5));
     }
-    let col = doctor.collect();
-    let samples: Vec<AccuracySample> = records
+    doctor.collect()
+}
+
+/// Page-load accuracy from a recorded session.
+fn page_accuracy_from(col: &Collection) -> MetricAccuracy {
+    let samples: Vec<AccuracySample> = col
+        .behavior
         .iter()
-        .filter_map(|rec| accuracy_trigger(rec, &col.camera, "page_progress:hide"))
+        .filter(|(_, r)| r.action == "page_load" && !r.timed_out)
+        .filter_map(|(_, rec)| accuracy_trigger(rec, &col.camera, "page_progress:hide"))
         .collect();
     summarize("Web page loading", &samples)
 }
@@ -291,7 +311,14 @@ impl fmt::Display for ToolOverhead {
 
 /// Compute Table 3's mapping + overhead rows.
 pub fn overhead(reps: usize, seed: u64) -> ToolOverhead {
-    let col = run_posts(PostKind::Photos, NetKind::Umts3g, reps, seed);
+    overhead_from(&run_posts(PostKind::Photos, NetKind::Umts3g, reps, seed))
+}
+
+/// Table 3's mapping + overhead rows from a recorded photo-post session.
+/// This is an evaluation-only analysis: it scores the mapper against the
+/// `pdu_truth` ground truth, which the bundle format keeps segregated from
+/// the observable artifacts.
+pub fn overhead_from(col: &Collection) -> ToolOverhead {
     let qxdm = col.qxdm.as_ref().expect("cellular");
     let truth = col.pdu_truth.as_ref().expect("truth log");
     let map_dir = |dir: Direction| -> MappingScore {
@@ -327,27 +354,55 @@ pub enum Table3Part {
     Overhead(ToolOverhead),
 }
 
-/// The §7.1 evaluation as a campaign: one job per metric scenario plus the
-/// overhead session, in Fig. 6 bar order.
-pub fn campaign(reps: usize, seed: u64) -> harness::Campaign<Table3Part> {
-    let mut c = harness::Campaign::new("table3_fig6");
-    c.job("accuracy/posts", seed, move || {
-        Table3Part::Bars(vec![posts_accuracy(reps, seed)])
-    });
-    c.job("accuracy/pull", seed ^ 1, move || {
-        Table3Part::Bars(vec![pull_accuracy(reps, seed ^ 1)])
-    });
-    c.job("accuracy/video", seed ^ 2, move || {
-        let (loading, rebuffer) = video_accuracy(reps.min(10), seed ^ 2);
-        Table3Part::Bars(vec![loading, rebuffer])
-    });
-    c.job("accuracy/page", seed ^ 3, move || {
-        Table3Part::Bars(vec![page_accuracy(reps, seed ^ 3)])
-    });
-    c.job("overhead", seed ^ 4, move || {
-        Table3Part::Overhead(overhead(reps.min(10), seed ^ 4))
-    });
+/// The §7.1 evaluation as a two-stage campaign: one job per metric
+/// scenario plus the overhead session, in Fig. 6 bar order.
+pub fn staged(reps: usize, seed: u64) -> harness::StagedCampaign<Collection, Table3Part> {
+    let name = "table3_fig6";
+    let mut c = harness::StagedCampaign::new(name);
+    c.job(
+        "accuracy/posts",
+        seed,
+        crate::stage::config_digest(name, "accuracy/posts", &[reps as u64]),
+        move || posts_session(reps, seed),
+        |col: &Collection| Table3Part::Bars(vec![posts_accuracy_from(col)]),
+    );
+    c.job(
+        "accuracy/pull",
+        seed ^ 1,
+        crate::stage::config_digest(name, "accuracy/pull", &[reps as u64]),
+        move || pull_session(reps, seed ^ 1),
+        |col: &Collection| Table3Part::Bars(vec![pull_accuracy_from(col)]),
+    );
+    c.job(
+        "accuracy/video",
+        seed ^ 2,
+        crate::stage::config_digest(name, "accuracy/video", &[reps.min(10) as u64]),
+        move || video_session(reps.min(10), seed ^ 2),
+        |col: &Collection| {
+            let (loading, rebuffer) = video_accuracy_from(col);
+            Table3Part::Bars(vec![loading, rebuffer])
+        },
+    );
+    c.job(
+        "accuracy/page",
+        seed ^ 3,
+        crate::stage::config_digest(name, "accuracy/page", &[reps as u64]),
+        move || page_session(reps, seed ^ 3),
+        |col: &Collection| Table3Part::Bars(vec![page_accuracy_from(col)]),
+    );
+    c.job(
+        "overhead",
+        seed ^ 4,
+        crate::stage::config_digest(name, "overhead", &[reps.min(10) as u64]),
+        move || run_posts(PostKind::Photos, NetKind::Umts3g, reps.min(10), seed ^ 4),
+        |col: &Collection| Table3Part::Overhead(overhead_from(col)),
+    );
     c
+}
+
+/// The §7.1 evaluation as a plain (fused record+analyze) campaign.
+pub fn campaign(reps: usize, seed: u64) -> harness::Campaign<Table3Part> {
+    staged(reps, seed).into_campaign(&harness::StageMode::Inline)
 }
 
 /// Run the full §7.1 evaluation: Fig. 6's five bars plus Table 3.

@@ -259,24 +259,29 @@ pub struct PostRun {
     pub fig8: Option<PhotoNetBreakdown>,
 }
 
-/// The §7.2 matrix as a campaign: one job per (network × post kind) cell.
-pub fn campaign(reps: usize, seed: u64) -> harness::Campaign<PostRun> {
-    let mut c = harness::Campaign::new("fig7_fig8");
+/// The §7.2 matrix as a two-stage campaign: one job per (network × post
+/// kind) cell, recording the post-session collection and analyzing the
+/// Fig. 7 (and, for photos, Fig. 8) rows from it.
+pub fn staged(reps: usize, seed: u64) -> harness::StagedCampaign<Collection, PostRun> {
+    let mut c = harness::StagedCampaign::new("fig7_fig8");
     for net in [NetKind::Umts3g, NetKind::Lte] {
         for kind in [PostKind::Photos, PostKind::Checkin, PostKind::Status] {
             let job_seed = seed ^ kind.label().len() as u64;
+            let label = format!("{}/{}", net.label(), kind.label());
+            let cfg = crate::stage::config_digest("fig7_fig8", &label, &[reps as u64]);
             c.job(
-                format!("{}/{}", net.label(), kind.label()),
+                label,
                 job_seed,
-                move || {
-                    let col = run_posts(kind, net, reps, job_seed);
+                cfg,
+                move || run_posts(kind, net, reps, job_seed),
+                move |col: &Collection| {
                     let fig8 = if kind == PostKind::Photos {
-                        photo_net_breakdown(&col, &net.label())
+                        photo_net_breakdown(col, &net.label())
                     } else {
                         None
                     };
                     PostRun {
-                        fig7: breakdown_rows(&col, &net.label(), kind.label()),
+                        fig7: breakdown_rows(col, &net.label(), kind.label()),
                         fig8,
                     }
                 },
@@ -284,6 +289,11 @@ pub fn campaign(reps: usize, seed: u64) -> harness::Campaign<PostRun> {
         }
     }
     c
+}
+
+/// The §7.2 matrix as a plain (fused record+analyze) campaign.
+pub fn campaign(reps: usize, seed: u64) -> harness::Campaign<PostRun> {
+    staged(reps, seed).into_campaign(&harness::StageMode::Inline)
 }
 
 /// Run the whole §7.2 experiment: Fig. 7 rows + Fig. 8 rows.

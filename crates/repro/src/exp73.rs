@@ -11,7 +11,7 @@ use crate::scenario::{facebook_world, NetKind, PUSH_BYTES};
 use device::apps::FbVersion;
 use qoe_doctor::analyze::radio::{energy_breakdown, residencies};
 use qoe_doctor::analyze::transport::TransportReport;
-use qoe_doctor::Controller;
+use qoe_doctor::{Collection, Controller};
 use radio::power::PowerModel;
 use radio::rrc::RrcState;
 use simcore::{SimDuration, SimTime};
@@ -73,6 +73,19 @@ pub fn run_config(
     hours: u64,
     seed: u64,
 ) -> BackgroundRow {
+    background_row(
+        &session(push_interval, refresh_interval, hours, seed),
+        label,
+    )
+}
+
+/// Record one background configuration for `hours` simulated hours.
+fn session(
+    push_interval: Option<SimDuration>,
+    refresh_interval: Option<SimDuration>,
+    hours: u64,
+    seed: u64,
+) -> Collection {
     // Backgrounded app: pushes are received but do not drive the visible UI
     // (auto-update on push belongs to the foreground §7.4 scenario).
     let world = facebook_world(
@@ -87,8 +100,11 @@ pub fn run_config(
     );
     let mut doctor = Controller::new(world);
     doctor.advance(SimDuration::from_hours(hours));
-    let col = doctor.collect();
+    doctor.collect()
+}
 
+/// Compute one Figs. 10–13 row from a recorded background session.
+fn background_row(col: &Collection, label: &str) -> BackgroundRow {
     // Mobile data: all traffic to Facebook domains.
     let report = TransportReport::analyze(&col.trace);
     let (ul, dl) = report.volume_to("facebook");
@@ -109,11 +125,14 @@ pub fn run_config(
     }
 }
 
-/// Figs. 10 and 11: sweep the friend's post-upload frequency with the
-/// default 1 h refresh interval. One campaign job per sweep point.
-pub fn campaign_fig10_11(hours: u64, seed: u64) -> harness::Campaign<BackgroundRow> {
+/// Figs. 10 and 11 as a two-stage campaign: sweep the friend's post-upload
+/// frequency with the default 1 h refresh interval.
+pub fn staged_fig10_11(
+    hours: u64,
+    seed: u64,
+) -> harness::StagedCampaign<Collection, BackgroundRow> {
     let hour = SimDuration::from_hours(1);
-    let mut c = harness::Campaign::new("fig10_11");
+    let mut c = harness::StagedCampaign::new("fig10_11");
     for (label, push) in [
         ("10 min", Some(SimDuration::from_mins(10))),
         ("30 min", Some(SimDuration::from_mins(30))),
@@ -124,17 +143,27 @@ pub fn campaign_fig10_11(hours: u64, seed: u64) -> harness::Campaign<BackgroundR
             format!("push={label}"),
             seed,
             (hours * 3600) as f64,
-            move || run_config(label, push, Some(hour), hours, seed),
+            crate::stage::config_digest("fig10_11", &format!("push={label}"), &[hours]),
+            move || session(push, Some(hour), hours, seed),
+            move |col: &Collection| background_row(col, label),
         );
     }
     c
 }
 
-/// Figs. 12 and 13: sweep the refresh-interval setting with the friend
-/// posting every 30 minutes. One campaign job per sweep point.
-pub fn campaign_fig12_13(hours: u64, seed: u64) -> harness::Campaign<BackgroundRow> {
+/// Figs. 10 and 11 as a plain (fused record+analyze) campaign.
+pub fn campaign_fig10_11(hours: u64, seed: u64) -> harness::Campaign<BackgroundRow> {
+    staged_fig10_11(hours, seed).into_campaign(&harness::StageMode::Inline)
+}
+
+/// Figs. 12 and 13 as a two-stage campaign: sweep the refresh-interval
+/// setting with the friend posting every 30 minutes.
+pub fn staged_fig12_13(
+    hours: u64,
+    seed: u64,
+) -> harness::StagedCampaign<Collection, BackgroundRow> {
     let push = Some(SimDuration::from_mins(30));
-    let mut c = harness::Campaign::new("fig12_13");
+    let mut c = harness::StagedCampaign::new("fig12_13");
     for (label, refresh) in [
         ("30 min", SimDuration::from_mins(30)),
         ("1 hr", SimDuration::from_hours(1)),
@@ -145,10 +174,17 @@ pub fn campaign_fig12_13(hours: u64, seed: u64) -> harness::Campaign<BackgroundR
             format!("refresh={label}"),
             seed,
             (hours * 3600) as f64,
-            move || run_config(label, push, Some(refresh), hours, seed),
+            crate::stage::config_digest("fig12_13", &format!("refresh={label}"), &[hours]),
+            move || session(push, Some(refresh), hours, seed),
+            move |col: &Collection| background_row(col, label),
         );
     }
     c
+}
+
+/// Figs. 12 and 13 as a plain (fused record+analyze) campaign.
+pub fn campaign_fig12_13(hours: u64, seed: u64) -> harness::Campaign<BackgroundRow> {
+    staged_fig12_13(hours, seed).into_campaign(&harness::StageMode::Inline)
 }
 
 /// Figs. 10 and 11 rows, computed serially.

@@ -63,6 +63,19 @@ impl fmt::Display for UpdateRun {
 
 /// Run one configuration: `updates` feed updates, posts every 2 minutes.
 pub fn run_config(version: FbVersion, net: NetKind, updates: usize, seed: u64) -> UpdateRun {
+    let label = format!("{}/{}", short_label(version), net.label());
+    summarize(&session(version, net, updates, seed), label)
+}
+
+fn short_label(version: FbVersion) -> &'static str {
+    match version {
+        FbVersion::WebView18 => "WV",
+        FbVersion::ListView50 => "LV",
+    }
+}
+
+/// Record one configuration's session.
+fn session(version: FbVersion, net: NetKind, updates: usize, seed: u64) -> Collection {
     let auto = version == FbVersion::ListView50;
     let world = facebook_world(
         version,
@@ -108,18 +121,10 @@ pub fn run_config(version: FbVersion, net: NetKind, updates: usize, seed: u64) -
             );
         }
     }
-    let label = format!(
-        "{}/{}",
-        match version {
-            FbVersion::WebView18 => "WV",
-            FbVersion::ListView50 => "LV",
-        },
-        net.label()
-    );
-    summarize(doctor.collect(), label)
+    doctor.collect()
 }
 
-fn summarize(col: Collection, label: String) -> UpdateRun {
+fn summarize(col: &Collection, label: String) -> UpdateRun {
     let mut latencies = Vec::new();
     let mut device = Vec::new();
     let mut network = Vec::new();
@@ -155,21 +160,30 @@ fn summarize(col: Collection, label: String) -> UpdateRun {
     }
 }
 
-/// The §7.4 matrix as a campaign: one job per (network × app version).
-pub fn campaign(updates: usize, seed: u64) -> harness::Campaign<UpdateRun> {
-    let mut c = harness::Campaign::new("fig14_16");
+/// The §7.4 matrix as a two-stage campaign: one job per (network × app
+/// version).
+pub fn staged(updates: usize, seed: u64) -> harness::StagedCampaign<Collection, UpdateRun> {
+    let mut c = harness::StagedCampaign::new("fig14_16");
     for net in [NetKind::Lte, NetKind::Wifi] {
         for version in [FbVersion::ListView50, FbVersion::WebView18] {
-            let short = match version {
-                FbVersion::WebView18 => "WV",
-                FbVersion::ListView50 => "LV",
-            };
-            c.job(format!("{short}/{}", net.label()), seed, move || {
-                run_config(version, net, updates, seed)
-            });
+            let label = format!("{}/{}", short_label(version), net.label());
+            let cfg = crate::stage::config_digest("fig14_16", &label, &[updates as u64]);
+            let analyze_label = label.clone();
+            c.job(
+                label,
+                seed,
+                cfg,
+                move || session(version, net, updates, seed),
+                move |col: &Collection| summarize(col, analyze_label),
+            );
         }
     }
     c
+}
+
+/// The §7.4 matrix as a plain (fused record+analyze) campaign.
+pub fn campaign(updates: usize, seed: u64) -> harness::Campaign<UpdateRun> {
+    staged(updates, seed).into_campaign(&harness::StageMode::Inline)
 }
 
 /// Run the full §7.4 matrix.

@@ -10,8 +10,9 @@
 use crate::scenario::{video_dataset, youtube_world, NetKind};
 use device::apps::VideoSpec;
 use device::{UiEvent, ViewSignature};
+use qoe_doctor::analyze::app::playback_reports;
 use qoe_doctor::analyze::transport::{downlink_throughput, TransportReport};
-use qoe_doctor::{Controller, WaitCondition};
+use qoe_doctor::{Collection, Controller, WaitCondition};
 use simcore::{Cdf, DetRng, SimDuration};
 use std::fmt;
 
@@ -83,18 +84,28 @@ impl fmt::Display for WatchRun {
 
 /// Watch `count` randomly-chosen dataset videos on `net`.
 pub fn run_watch(net: NetKind, count: usize, seed: u64) -> WatchRun {
+    watch_run_from(&watch_session(net, count, seed), net.label(), count)
+}
+
+/// The pinned random video subset each watch session plays, independent of
+/// the run seed so every configuration (and every sweep point) watches the
+/// same videos. Both the record stage (to drive the UI) and the analyze
+/// stage (to name the videos) recompute this.
+fn picks(count: usize) -> Vec<VideoSpec> {
     let dataset = video_dataset(11);
-    // Random subset — pinned independently of the run seed so every
-    // configuration (and every sweep point) watches the same videos.
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     let mut rng = DetRng::seed_from_u64(777);
     rng.shuffle(&mut order);
-    let picks: Vec<VideoSpec> = order[..count.min(order.len())]
+    order[..count.min(order.len())]
         .iter()
         .map(|i| dataset[*i].clone())
-        .collect();
+        .collect()
+}
 
-    let world = youtube_world(dataset, None, net, seed ^ 0xBEE, true);
+/// Record a watch session: play each picked video to the end (or timeout).
+fn watch_session(net: NetKind, count: usize, seed: u64) -> Collection {
+    let picks = picks(count);
+    let world = youtube_world(video_dataset(11), None, net, seed ^ 0xBEE, true);
     let mut doctor = Controller::new(world);
     doctor.advance(SimDuration::from_secs(5));
     // One search populates the results list for the whole session.
@@ -105,7 +116,6 @@ pub fn run_watch(net: NetKind, count: usize, seed: u64) -> WatchRun {
     doctor.interact(&UiEvent::KeyEnter);
     doctor.advance(SimDuration::from_secs(10));
 
-    let mut videos = Vec::new();
     for spec in &picks {
         let m = doctor.measure_after(
             "video:initial_loading",
@@ -118,12 +128,6 @@ pub fn run_watch(net: NetKind, count: usize, seed: u64) -> WatchRun {
             SimDuration::from_secs(240),
         );
         if m.record.timed_out {
-            videos.push(VideoQoe {
-                name: spec.name.clone(),
-                initial_loading: m.record.calibrated().as_secs_f64(),
-                rebuffering: 1.0,
-                finished: false,
-            });
             continue;
         }
         // Watch to the end, recording stalls. Generous budget: a throttled
@@ -131,33 +135,74 @@ pub fn run_watch(net: NetKind, count: usize, seed: u64) -> WatchRun {
         let budget = spec.duration * 2
             + SimDuration::from_secs_f64(spec.total_bytes() as f64 * 8.0 / 64e3)
             + SimDuration::from_secs(60);
-        let report = doctor.monitor_playback("video", budget);
+        doctor.monitor_playback("video", budget);
+        doctor.advance(SimDuration::from_secs(3));
+    }
+    doctor.collect()
+}
+
+/// Rebuild a [`WatchRun`] from a recorded session: the i-th
+/// `video:initial_loading` record belongs to the i-th pick, and each
+/// non-timed-out video contributed exactly one playback summary record.
+fn watch_run_from(col: &Collection, label: String, count: usize) -> WatchRun {
+    let picks = picks(count);
+    let loading: Vec<_> = col
+        .behavior
+        .iter()
+        .filter(|(_, r)| r.action == "video:initial_loading")
+        .map(|(_, r)| r)
+        .collect();
+    let reports = playback_reports(&col.behavior, "video");
+    let mut report_iter = reports.iter();
+    let mut videos = Vec::new();
+    for (spec, rec) in picks.iter().zip(loading.iter()) {
+        if rec.timed_out {
+            videos.push(VideoQoe {
+                name: spec.name.clone(),
+                initial_loading: rec.calibrated().as_secs_f64(),
+                rebuffering: 1.0,
+                finished: false,
+            });
+            continue;
+        }
+        let report = report_iter
+            .next()
+            .expect("one playback report per non-timed-out video");
         videos.push(VideoQoe {
             name: spec.name.clone(),
-            initial_loading: m.record.calibrated().as_secs_f64(),
+            initial_loading: rec.calibrated().as_secs_f64(),
             rebuffering: report.rebuffering_ratio(),
             finished: report.finished,
         });
-        doctor.advance(SimDuration::from_secs(3));
     }
-    WatchRun {
-        label: net.label(),
-        videos,
-    }
+    WatchRun { label, videos }
 }
 
-/// Fig. 17 as a campaign: one job per bearer configuration.
-pub fn campaign_fig17(count: usize, seed: u64) -> harness::Campaign<WatchRun> {
-    let mut c = harness::Campaign::new("fig17");
+/// Fig. 17 as a two-stage campaign: one job per bearer configuration.
+pub fn staged_fig17(count: usize, seed: u64) -> harness::StagedCampaign<Collection, WatchRun> {
+    let mut c = harness::StagedCampaign::new("fig17");
     for net in [
         NetKind::Umts3g,
         NetKind::Lte,
         NetKind::Umts3gThrottled(CAP_RATE),
         NetKind::LteThrottled(CAP_RATE),
     ] {
-        c.job(net.label(), seed, move || run_watch(net, count, seed));
+        let label = net.label();
+        let cfg = crate::stage::config_digest("fig17", &label, &[count as u64]);
+        c.job(
+            label,
+            seed,
+            cfg,
+            move || watch_session(net, count, seed),
+            move |col: &Collection| watch_run_from(col, net.label(), count),
+        );
     }
     c
+}
+
+/// Fig. 17 as a plain (fused record+analyze) campaign.
+pub fn campaign_fig17(count: usize, seed: u64) -> harness::Campaign<WatchRun> {
+    staged_fig17(count, seed).into_campaign(&harness::StageMode::Inline)
 }
 
 /// Fig. 17: throttled vs unthrottled on both technologies.
@@ -193,9 +238,8 @@ impl fmt::Display for ThroughputTrace {
     }
 }
 
-/// Fig. 18: stream one long video through one throttle discipline and
-/// record the downlink throughput profile.
-fn trace_one(net: NetKind, seed: u64) -> ThroughputTrace {
+/// Fig. 18: stream one long video through one throttle discipline.
+fn trace_session(net: NetKind, seed: u64) -> Collection {
     let spec = VideoSpec {
         name: "trace".into(),
         duration: SimDuration::from_secs(280),
@@ -214,11 +258,15 @@ fn trace_one(net: NetKind, seed: u64) -> ThroughputTrace {
         target: ViewSignature::by_id("result_trace"),
     });
     doctor.advance(SimDuration::from_secs(300));
-    let col = doctor.collect();
+    doctor.collect()
+}
+
+/// Compute the downlink throughput profile of a recorded Fig. 18 session.
+fn throughput_trace(col: &Collection, label: String) -> ThroughputTrace {
     let series = downlink_throughput(&col.trace, 1.0);
     let report = TransportReport::analyze(&col.trace);
     ThroughputTrace {
-        label: net.label(),
+        label,
         series: series.bins.clone(),
         mean_bps: series.mean(),
         std_bps: series.std_dev(),
@@ -226,16 +274,30 @@ fn trace_one(net: NetKind, seed: u64) -> ThroughputTrace {
     }
 }
 
-/// Fig. 18 as a campaign: one job per throttle discipline.
-pub fn campaign_fig18(seed: u64) -> harness::Campaign<ThroughputTrace> {
-    let mut c = harness::Campaign::new("fig18");
+/// Fig. 18 as a two-stage campaign: one job per throttle discipline.
+pub fn staged_fig18(seed: u64) -> harness::StagedCampaign<Collection, ThroughputTrace> {
+    let mut c = harness::StagedCampaign::new("fig18");
     for net in [
         NetKind::Umts3gThrottled(CAP_RATE),
         NetKind::LteThrottled(CAP_RATE),
     ] {
-        c.timed_job(net.label(), seed, 315.0, move || trace_one(net, seed));
+        let label = net.label();
+        let cfg = crate::stage::config_digest("fig18", &label, &[]);
+        c.timed_job(
+            label,
+            seed,
+            315.0,
+            cfg,
+            move || trace_session(net, seed),
+            move |col: &Collection| throughput_trace(col, net.label()),
+        );
     }
     c
+}
+
+/// Fig. 18 as a plain (fused record+analyze) campaign.
+pub fn campaign_fig18(seed: u64) -> harness::Campaign<ThroughputTrace> {
+    staged_fig18(seed).into_campaign(&harness::StageMode::Inline)
 }
 
 /// Fig. 18: the throughput signature of shaping vs policing.
@@ -269,28 +331,51 @@ impl fmt::Display for SweepPoint {
     }
 }
 
-/// Figs. 19/20 as a campaign: one job per (rate × technology) sweep point.
-pub fn campaign_sweep(videos_per_point: usize, seed: u64) -> harness::Campaign<SweepPoint> {
-    let mut c = harness::Campaign::new("fig19_20");
+/// Figs. 19/20 as a two-stage campaign: one job per (rate × technology)
+/// sweep point.
+pub fn staged_sweep(
+    videos_per_point: usize,
+    seed: u64,
+) -> harness::StagedCampaign<Collection, SweepPoint> {
+    let mut c = harness::StagedCampaign::new("fig19_20");
     for rate in [100e3, 200e3, 300e3, 400e3, 500e3] {
         for (label, net) in [
             ("3G", NetKind::Umts3gThrottled(rate)),
             ("LTE", NetKind::LteThrottled(rate)),
         ] {
             let job_seed = seed ^ rate as u64;
-            c.job(format!("{label}@{}kbps", rate / 1e3), job_seed, move || {
-                let run = run_watch(net, videos_per_point, job_seed);
-                let n = run.videos.len().max(1) as f64;
-                SweepPoint {
-                    rate_bps: rate,
-                    label: label.into(),
-                    rebuffering: run.videos.iter().map(|v| v.rebuffering).sum::<f64>() / n,
-                    initial_loading: run.videos.iter().map(|v| v.initial_loading).sum::<f64>() / n,
-                }
-            });
+            let job_label = format!("{label}@{}kbps", rate / 1e3);
+            let cfg = crate::stage::config_digest_rate(
+                "fig19_20",
+                &job_label,
+                &[videos_per_point as u64],
+                rate,
+            );
+            c.job(
+                job_label,
+                job_seed,
+                cfg,
+                move || watch_session(net, videos_per_point, job_seed),
+                move |col: &Collection| {
+                    let run = watch_run_from(col, net.label(), videos_per_point);
+                    let n = run.videos.len().max(1) as f64;
+                    SweepPoint {
+                        rate_bps: rate,
+                        label: label.into(),
+                        rebuffering: run.videos.iter().map(|v| v.rebuffering).sum::<f64>() / n,
+                        initial_loading: run.videos.iter().map(|v| v.initial_loading).sum::<f64>()
+                            / n,
+                    }
+                },
+            );
         }
     }
     c
+}
+
+/// Figs. 19/20 as a plain (fused record+analyze) campaign.
+pub fn campaign_sweep(videos_per_point: usize, seed: u64) -> harness::Campaign<SweepPoint> {
+    staged_sweep(videos_per_point, seed).into_campaign(&harness::StageMode::Inline)
 }
 
 /// Figs. 19/20: sweep the throttled bandwidth on both technologies.

@@ -8,7 +8,7 @@
 use crate::scenario::{youtube_world, NetKind};
 use device::apps::VideoSpec;
 use device::{UiEvent, ViewSignature};
-use qoe_doctor::{Controller, WaitCondition};
+use qoe_doctor::{Collection, Controller, WaitCondition};
 use simcore::{SimDuration, Summary};
 use std::fmt;
 
@@ -58,6 +58,11 @@ fn pre_roll() -> VideoSpec {
 /// Watch `reps` videos with/without a pre-roll ad on `net`; when `skip` is
 /// set the controller presses "Skip Ad" as soon as it is offered (§4.2.2).
 pub fn run_config(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u64) -> AdRun {
+    ad_run_from(&session(net, with_ad, skip, reps, seed), net, with_ad, skip)
+}
+
+/// Record one (network × ad mode) session.
+fn session(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u64) -> Collection {
     let videos: Vec<VideoSpec> = (0..reps)
         .map(|i| VideoSpec {
             name: format!("v{i}"),
@@ -76,9 +81,6 @@ pub fn run_config(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u6
     doctor.interact(&UiEvent::KeyEnter);
     doctor.advance(SimDuration::from_secs(10));
 
-    let mut ad_loads = Vec::new();
-    let mut main_loads = Vec::new();
-    let mut totals = Vec::new();
     for spec in &videos {
         let click = UiEvent::Click {
             target: ViewSignature::by_id(&format!("result_{}", spec.name)),
@@ -86,7 +88,7 @@ pub fn run_config(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u6
         if with_ad {
             // First window: ad loading (click → progress hidden while the
             // ad buffers).
-            let ad_m = doctor.measure_after(
+            doctor.measure_after(
                 "ad:initial_loading",
                 &click,
                 &WaitCondition::Hidden {
@@ -104,8 +106,9 @@ pub fn run_config(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u6
             }
             // Second window: main-video loading after the (skipped) ad. The
             // prefetched buffer may make this nearly instantaneous; a
-            // missed (sub-parse-interval) window counts as zero.
-            let main_m = doctor.measure_span(
+            // missed (sub-parse-interval) window leaves no record and
+            // counts as zero at analysis time.
+            doctor.measure_span(
                 "video:initial_loading",
                 &WaitCondition::Shown {
                     id: "player_progress".into(),
@@ -115,16 +118,8 @@ pub fn run_config(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u6
                 },
                 pre_roll().duration + SimDuration::from_secs(90),
             );
-            let ad_load = ad_m.record.calibrated().as_secs_f64();
-            let main_load = main_m
-                .as_ref()
-                .map(|m| m.record.calibrated().as_secs_f64())
-                .unwrap_or(0.0);
-            ad_loads.push(ad_load);
-            main_loads.push(main_load);
-            totals.push(ad_load + main_load);
         } else {
-            let m = doctor.measure_after(
+            doctor.measure_after(
                 "video:initial_loading",
                 &click,
                 &WaitCondition::Hidden {
@@ -132,10 +127,6 @@ pub fn run_config(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u6
                 },
                 SimDuration::from_secs(120),
             );
-            let load = m.record.calibrated().as_secs_f64();
-            ad_loads.push(0.0);
-            main_loads.push(load);
-            totals.push(load);
         }
         // Let the video finish before the next rep.
         let drain = doctor.monitor_playback(
@@ -144,6 +135,57 @@ pub fn run_config(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u6
         );
         let _ = drain;
         doctor.advance(SimDuration::from_secs(3));
+    }
+    doctor.collect()
+}
+
+/// Rebuild an [`AdRun`] from a recorded session. With an ad, each
+/// `ad:initial_loading` record opens a rep and a following
+/// `video:initial_loading` record (if any, before the next rep's ad)
+/// supplies the main-video loading; the span measurement logs no record
+/// when the progress bar never reappears, which counts as zero. Without an
+/// ad each `video:initial_loading` record is one rep.
+fn ad_run_from(col: &Collection, net: NetKind, with_ad: bool, skip: bool) -> AdRun {
+    let mut ad_loads = Vec::new();
+    let mut main_loads = Vec::new();
+    let mut totals = Vec::new();
+    if with_ad {
+        let mut current_ad: Option<f64> = None;
+        for (_, rec) in col.behavior.iter() {
+            match rec.action.as_str() {
+                "ad:initial_loading" => {
+                    if let Some(ad_load) = current_ad.take() {
+                        ad_loads.push(ad_load);
+                        main_loads.push(0.0);
+                        totals.push(ad_load);
+                    }
+                    current_ad = Some(rec.calibrated().as_secs_f64());
+                }
+                "video:initial_loading" => {
+                    if let Some(ad_load) = current_ad.take() {
+                        let main_load = rec.calibrated().as_secs_f64();
+                        ad_loads.push(ad_load);
+                        main_loads.push(main_load);
+                        totals.push(ad_load + main_load);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(ad_load) = current_ad {
+            ad_loads.push(ad_load);
+            main_loads.push(0.0);
+            totals.push(ad_load);
+        }
+    } else {
+        for (_, rec) in col.behavior.iter() {
+            if rec.action == "video:initial_loading" {
+                let load = rec.calibrated().as_secs_f64();
+                ad_loads.push(0.0);
+                main_loads.push(load);
+                totals.push(load);
+            }
+        }
     }
     AdRun {
         label: net.label(),
@@ -155,21 +197,33 @@ pub fn run_config(net: NetKind, with_ad: bool, skip: bool, reps: usize, seed: u6
     }
 }
 
-/// The §7.6 matrix as a campaign: one job per (network × ad mode).
-pub fn campaign(reps: usize, seed: u64) -> harness::Campaign<AdRun> {
-    let mut c = harness::Campaign::new("exp76");
+/// The §7.6 matrix as a two-stage campaign: one job per (network × ad
+/// mode).
+pub fn staged(reps: usize, seed: u64) -> harness::StagedCampaign<Collection, AdRun> {
+    let mut c = harness::StagedCampaign::new("exp76");
     for net in [NetKind::Wifi, NetKind::Lte, NetKind::Umts3g] {
         for (mode, with_ad, skip) in [
             ("no-ad", false, false),
             ("ad-skipped", true, true),
             ("ad-watched", true, false),
         ] {
-            c.job(format!("{}/{mode}", net.label()), seed, move || {
-                run_config(net, with_ad, skip, reps, seed)
-            });
+            let label = format!("{}/{mode}", net.label());
+            let cfg = crate::stage::config_digest("exp76", &label, &[reps as u64]);
+            c.job(
+                label,
+                seed,
+                cfg,
+                move || session(net, with_ad, skip, reps, seed),
+                move |col: &Collection| ad_run_from(col, net, with_ad, skip),
+            );
         }
     }
     c
+}
+
+/// The §7.6 matrix as a plain (fused record+analyze) campaign.
+pub fn campaign(reps: usize, seed: u64) -> harness::Campaign<AdRun> {
+    staged(reps, seed).into_campaign(&harness::StageMode::Inline)
 }
 
 /// Run the §7.6 matrix: WiFi / LTE / 3G × {no ad, skipped ad, watched ad}.

@@ -11,7 +11,7 @@ use crate::scenario::{browser_world, NetKind};
 use device::apps::BrowserConfig;
 use device::{UiEvent, ViewSignature};
 use qoe_doctor::analyze::crosslayer::rrc_transitions_in;
-use qoe_doctor::{Controller, WaitCondition};
+use qoe_doctor::{Collection, Controller, WaitCondition};
 use simcore::{SimDuration, Summary};
 use std::fmt;
 
@@ -46,6 +46,11 @@ impl fmt::Display for PageLoadRun {
 /// Load the test page `reps` times from an idle radio.
 pub fn run_config(browser: BrowserConfig, net: NetKind, reps: usize, seed: u64) -> PageLoadRun {
     let name = browser.name;
+    page_load_run(&session(browser, net, reps, seed), name, net)
+}
+
+/// Record one (browser × machine) session.
+fn session(browser: BrowserConfig, net: NetKind, reps: usize, seed: u64) -> Collection {
     let world = browser_world(browser, net, seed);
     let mut doctor = Controller::new(world);
     doctor.advance(SimDuration::from_secs(2));
@@ -66,7 +71,11 @@ pub fn run_config(browser: BrowserConfig, net: NetKind, reps: usize, seed: u64) 
         // (DCH 5 s + FACH 12 s on the default machine).
         doctor.advance(SimDuration::from_secs(25));
     }
-    let col = doctor.collect();
+    doctor.collect()
+}
+
+/// Compute a [`PageLoadRun`] from a recorded session.
+fn page_load_run(col: &Collection, name: &'static str, net: NetKind) -> PageLoadRun {
     let mut loads = Vec::new();
     let mut transitions = 0usize;
     let mut n = 0usize;
@@ -92,23 +101,33 @@ pub fn run_config(browser: BrowserConfig, net: NetKind, reps: usize, seed: u64) 
     }
 }
 
-/// The §7.7 matrix as a campaign: one job per (browser × state machine).
-pub fn campaign(reps: usize, seed: u64) -> harness::Campaign<PageLoadRun> {
-    let mut c = harness::Campaign::new("exp77");
+/// The §7.7 matrix as a two-stage campaign: one job per (browser × state
+/// machine).
+pub fn staged(reps: usize, seed: u64) -> harness::StagedCampaign<Collection, PageLoadRun> {
+    let mut c = harness::StagedCampaign::new("exp77");
     for make in [
         BrowserConfig::chrome,
         BrowserConfig::firefox,
         BrowserConfig::stock,
     ] {
         for net in [NetKind::Umts3g, NetKind::Umts3gSimplified, NetKind::Lte] {
+            let label = format!("{}/{}", make().name, net.label());
+            let cfg = crate::stage::config_digest("exp77", &label, &[reps as u64]);
             c.job(
-                format!("{}/{}", make().name, net.label()),
+                label,
                 seed,
-                move || run_config(make(), net, reps, seed),
+                cfg,
+                move || session(make(), net, reps, seed),
+                move |col: &Collection| page_load_run(col, make().name, net),
             );
         }
     }
     c
+}
+
+/// The §7.7 matrix as a plain (fused record+analyze) campaign.
+pub fn campaign(reps: usize, seed: u64) -> harness::Campaign<PageLoadRun> {
+    staged(reps, seed).into_campaign(&harness::StageMode::Inline)
 }
 
 /// Run the §7.7 matrix: three browsers × default 3G / simplified 3G / LTE.

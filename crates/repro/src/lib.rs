@@ -8,6 +8,7 @@
 pub mod ablation;
 pub mod bench;
 pub mod chaos;
+pub mod cli;
 pub mod exp71;
 pub mod exp72;
 pub mod exp73;
@@ -18,6 +19,7 @@ pub mod exp77;
 pub mod records;
 pub mod render;
 pub mod scenario;
+pub mod stage;
 pub mod tables;
 
 pub use scenario::NetKind;

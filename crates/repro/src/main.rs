@@ -1,7 +1,9 @@
 //! `repro` — regenerate every table and figure of the QoE Doctor paper.
 //!
 //! ```text
-//! repro [experiment] [--quick] [--jobs N] [--json DIR]
+//! repro [experiment] [--quick] [--jobs N] [--json DIR] [--cache DIR]
+//! repro record [experiment] --out DIR [--quick] [--jobs N] [--json DIR]
+//! repro analyze DIR [experiment] [--quick] [--jobs N] [--json DIR]
 //!
 //! experiments:
 //!   table1 table2 table3 fig6 fig7 fig8 fig10 fig11 fig12 fig13
@@ -15,12 +17,20 @@
 //! (used by CI and the bench harness); the default counts match
 //! EXPERIMENTS.md. `--json DIR` additionally writes one machine-readable
 //! campaign report (run journal + merged aggregates) per campaign.
+//!
+//! `record` simulates each campaign job and persists its trace bundle
+//! under `--out DIR` without analyzing; `analyze DIR` re-runs only the
+//! analysis stage against those bundles and prints exactly what the
+//! inline run would have printed. `--cache DIR` fuses the two: bundles
+//! are keyed by (format version, seed, config digest), hits skip the
+//! simulation, misses record through the cache.
 
 use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use harness::{Campaign, Outcome, Record};
+use harness::{Campaign, Outcome, Record, StageMode, StagedCampaign};
+use trace::BundleArtifact;
 
 struct Scale {
     accuracy_reps: usize,
@@ -58,11 +68,19 @@ const QUICK: Scale = Scale {
 const SEED: u64 = 20140705;
 
 const USAGE: &str = "\
-usage: repro [experiment] [--quick] [--jobs N] [--json DIR]
+usage: repro [experiment] [--quick] [--jobs N] [--json DIR] [--cache DIR]
+       repro record [experiment] --out DIR [--quick] [--jobs N] [--json DIR]
+       repro analyze DIR [experiment] [--quick] [--jobs N] [--json DIR]
 
 experiments:
   table1 table2 table3 fig6 fig7 fig8 fig10 fig11 fig12 fig13
   fig14 fig15 fig16 fig17 fig18 fig19 fig20 exp76 exp77 ablation chaos all
+
+subcommands:
+  record       simulate and persist each campaign job's trace bundle under
+               --out DIR; no analysis runs
+  analyze      load the bundles under DIR and re-run only the analysis;
+               output matches the inline run byte for byte
 
 other:
   bench        hot-path performance snapshot; writes BENCH_pr3.json under
@@ -72,12 +90,39 @@ flags:
   --quick      reduced repetition counts (CI scale)
   --jobs N     worker threads per campaign (default: available parallelism)
   --json DIR   write machine-readable campaign reports under DIR
+  --out DIR    bundle root for `record`
+  --cache DIR  content-addressed bundle cache: hits skip the simulation
 ";
+
+/// How the record and analyze stages of each campaign are executed.
+enum RunMode {
+    /// Record and analyze fused in memory (the default).
+    Inline,
+    /// Record bundles under the root; skip analysis.
+    Record(PathBuf),
+    /// Analyze bundles under the root; never simulate.
+    Analyze(PathBuf),
+    /// Content-addressed cache under the root.
+    Cached(PathBuf),
+}
+
+impl RunMode {
+    /// The staged-campaign lowering for non-`record` modes.
+    fn stage_mode(&self) -> Option<StageMode> {
+        match self {
+            RunMode::Inline => Some(StageMode::Inline),
+            RunMode::Analyze(dir) => Some(StageMode::Analyze(dir.clone())),
+            RunMode::Cached(dir) => Some(StageMode::Cached(dir.clone())),
+            RunMode::Record(_) => None,
+        }
+    }
+}
 
 struct Opts {
     scale: Scale,
     jobs: usize,
     json: Option<PathBuf>,
+    mode: RunMode,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -89,7 +134,9 @@ fn parse_args(args: Vec<String>) -> (String, Opts) {
     let mut quick = false;
     let mut jobs: Option<usize> = None;
     let mut json: Option<PathBuf> = None;
-    let mut what: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut cache: Option<PathBuf> = None;
+    let mut positional: Vec<String> = Vec::new();
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -113,26 +160,68 @@ fn parse_args(args: Vec<String>) -> (String, Opts) {
                 }
             }
             "--json" => json = Some(PathBuf::from(value("--json"))),
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--cache" => cache = Some(PathBuf::from(value("--cache"))),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
             f if f.starts_with('-') => usage_error(&format!("unknown flag: {f}")),
-            _ => {
-                if what.is_some() {
-                    usage_error(&format!("unexpected extra argument: {arg}"));
-                }
-                what = Some(arg);
-            }
+            _ => positional.push(arg),
         }
+    }
+
+    let mut pos = positional.into_iter();
+    let (what, mode) = match pos.next().as_deref() {
+        Some("record") => {
+            let root = out
+                .take()
+                .unwrap_or_else(|| usage_error("record requires --out DIR"));
+            if cache.is_some() {
+                usage_error("--cache cannot be combined with record");
+            }
+            (
+                pos.next().unwrap_or_else(|| "all".to_string()),
+                RunMode::Record(root),
+            )
+        }
+        Some("analyze") => {
+            let root = pos
+                .next()
+                .unwrap_or_else(|| usage_error("analyze requires a bundle directory"));
+            if out.is_some() || cache.is_some() {
+                usage_error("--out/--cache cannot be combined with analyze");
+            }
+            (
+                pos.next().unwrap_or_else(|| "all".to_string()),
+                RunMode::Analyze(PathBuf::from(root)),
+            )
+        }
+        first => {
+            if out.is_some() {
+                usage_error("--out only applies to `record`");
+            }
+            let what = first
+                .map(str::to_string)
+                .unwrap_or_else(|| "all".to_string());
+            let mode = match cache.take() {
+                Some(dir) => RunMode::Cached(dir),
+                None => RunMode::Inline,
+            };
+            (what, mode)
+        }
+    };
+    if let Some(extra) = pos.next() {
+        usage_error(&format!("unexpected extra argument: {extra}"));
     }
 
     let opts = Opts {
         scale: if quick { QUICK } else { FULL },
         jobs: jobs.unwrap_or_else(harness::default_workers),
         json,
+        mode,
     };
-    (what.unwrap_or_else(|| "all".to_string()), opts)
+    (what, opts)
 }
 
 fn main() -> ExitCode {
@@ -152,7 +241,7 @@ fn main() -> ExitCode {
     }
 
     if failed > 0 {
-        eprintln!("repro: {failed} campaign job(s) panicked (reported above)");
+        eprintln!("repro: {failed} campaign job(s) failed (reported above)");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -174,6 +263,12 @@ fn campaign_rows<T: Record + Send>(c: Campaign<T>, opts: &Opts, failed: &mut usi
         }
     }
     *failed += run.failed();
+    if !matches!(opts.mode, RunMode::Inline) {
+        // A faulted job in a staged mode means a bundle was missing, stale
+        // or unreadable — that must fail the invocation, not just skip a
+        // row (inline campaigns have their own retry/fault policy).
+        *failed += run.faulted();
+    }
     run.jobs
         .into_iter()
         .filter_map(|j| match j.outcome {
@@ -203,11 +298,43 @@ fn campaign_rows<T: Record + Send>(c: Campaign<T>, opts: &Opts, failed: &mut usi
         .collect()
 }
 
+/// Lower a staged campaign according to the run mode. In `record` mode the
+/// bundle rows are printed here and `None` is returned (there are no
+/// analysis rows to print); otherwise the analysis rows come back for the
+/// caller's experiment-specific rendering, which is shared verbatim by the
+/// inline, analyze and cached modes.
+fn staged_rows<A, T>(
+    staged: StagedCampaign<A, T>,
+    opts: &Opts,
+    failed: &mut usize,
+) -> Option<Vec<T>>
+where
+    A: BundleArtifact + Send + 'static,
+    T: Record + Send + 'static,
+{
+    match &opts.mode {
+        RunMode::Record(root) => {
+            for row in campaign_rows(staged.into_record_campaign(root), opts, failed) {
+                println!("{}", row.row());
+            }
+            None
+        }
+        mode => {
+            let stage = mode.stage_mode().expect("non-record mode");
+            Some(campaign_rows(staged.into_campaign(&stage), opts, failed))
+        }
+    }
+}
+
 fn run(name: &str, opts: &Opts) -> usize {
     let s = &opts.scale;
     let mut failed = 0usize;
+    let recording = matches!(opts.mode, RunMode::Record(_));
     match name {
         "bench" => {
+            if !matches!(opts.mode, RunMode::Inline) {
+                usage_error("bench does not support record/analyze/cache (it must run inline)");
+            }
             header("bench", "Hot-path performance snapshot (BENCH_pr3.json)");
             let out_dir = opts
                 .json
@@ -216,110 +343,138 @@ fn run(name: &str, opts: &Opts) -> usize {
             failed += repro::bench::run_bench(opts.jobs, SEED, &out_dir);
         }
         "table1" => {
-            header("table1", "Replayed behaviours and latency anchors");
-            repro::tables::print_table1();
+            // Static tables have nothing to record; in the staged modes they
+            // print exactly as inline so `analyze` output stays comparable.
+            if !recording {
+                header("table1", "Replayed behaviours and latency anchors");
+                repro::tables::print_table1();
+            }
         }
         "table2" => {
-            header("table2", "Experiment goals");
-            repro::tables::print_table2();
+            if !recording {
+                header("table2", "Experiment goals");
+                repro::tables::print_table2();
+            }
         }
         "table3" | "fig6" => {
             header(name, "Tool accuracy and overhead (§7.1)");
-            for part in campaign_rows(
-                repro::exp71::campaign(s.accuracy_reps, SEED),
+            if let Some(parts) = staged_rows(
+                repro::exp71::staged(s.accuracy_reps, SEED),
                 opts,
                 &mut failed,
             ) {
-                println!("{}", part.row());
+                for part in parts {
+                    println!("{}", part.row());
+                }
             }
         }
         "fig7" | "fig8" => {
             header(name, "Post uploading breakdown (§7.2)");
-            let runs = campaign_rows(repro::exp72::campaign(s.post_reps, SEED), opts, &mut failed);
-            println!("-- Fig 7: device vs network delay --");
-            for r in &runs {
-                println!("{}", r.fig7);
-            }
-            println!("-- Fig 8: fine-grained network latency (2 photos) --");
-            for r in &runs {
-                if let Some(nb) = &r.fig8 {
-                    println!("{nb}");
+            if let Some(runs) =
+                staged_rows(repro::exp72::staged(s.post_reps, SEED), opts, &mut failed)
+            {
+                println!("-- Fig 7: device vs network delay --");
+                for r in &runs {
+                    println!("{}", r.fig7);
+                }
+                println!("-- Fig 8: fine-grained network latency (2 photos) --");
+                for r in &runs {
+                    if let Some(nb) = &r.fig8 {
+                        println!("{nb}");
+                    }
                 }
             }
         }
         "fig10" | "fig11" => {
             header(name, "Background data/energy vs post frequency (§7.3)");
-            for r in campaign_rows(
-                repro::exp73::campaign_fig10_11(s.bg_hours, SEED),
+            if let Some(rows) = staged_rows(
+                repro::exp73::staged_fig10_11(s.bg_hours, SEED),
                 opts,
                 &mut failed,
             ) {
-                println!("{r}");
+                for r in rows {
+                    println!("{r}");
+                }
             }
         }
         "fig12" | "fig13" => {
             header(name, "Background data/energy vs refresh interval (§7.3)");
-            for r in campaign_rows(
-                repro::exp73::campaign_fig12_13(s.bg_hours, SEED),
+            if let Some(rows) = staged_rows(
+                repro::exp73::staged_fig12_13(s.bg_hours, SEED),
                 opts,
                 &mut failed,
             ) {
-                println!("{r}");
+                for r in rows {
+                    println!("{r}");
+                }
             }
         }
         "fig14" | "fig15" | "fig16" => {
             header(name, "WebView vs ListView news feed updates (§7.4)");
-            for r in campaign_rows(repro::exp74::campaign(s.updates, SEED), opts, &mut failed) {
-                println!("{r}");
-                let cdf = r.cdf();
-                println!(
-                    "         cdf: {}  {}",
-                    repro::render::cdf_strip(&cdf, 1e3, "ms"),
-                    repro::render::sparkline(&cdf.values)
-                );
+            if let Some(rows) =
+                staged_rows(repro::exp74::staged(s.updates, SEED), opts, &mut failed)
+            {
+                for r in rows {
+                    println!("{r}");
+                    let cdf = r.cdf();
+                    println!(
+                        "         cdf: {}  {}",
+                        repro::render::cdf_strip(&cdf, 1e3, "ms"),
+                        repro::render::sparkline(&cdf.values)
+                    );
+                }
             }
         }
         "fig17" => {
             header(name, "Throttled vs unthrottled video QoE (§7.5)");
-            for r in campaign_rows(
-                repro::exp75::campaign_fig17(s.videos, SEED),
+            if let Some(rows) = staged_rows(
+                repro::exp75::staged_fig17(s.videos, SEED),
                 opts,
                 &mut failed,
             ) {
-                println!("{r}");
-                println!(
-                    "         loading cdf: {}",
-                    repro::render::cdf_strip(&r.loading_cdf(), 1.0, "s")
-                );
+                for r in rows {
+                    println!("{r}");
+                    println!(
+                        "         loading cdf: {}",
+                        repro::render::cdf_strip(&r.loading_cdf(), 1.0, "s")
+                    );
+                }
             }
         }
         "fig18" => {
             header(name, "Shaping vs policing throughput signature (§7.5)");
-            let traces = campaign_rows(repro::exp75::campaign_fig18(SEED), opts, &mut failed);
-            let hi = traces
-                .iter()
-                .flat_map(|t| t.series.iter().cloned())
-                .fold(0.0f64, f64::max);
-            for r in traces {
-                println!("{r}");
-                let ds = repro::render::downsample(&r.series, 64);
-                println!("         {}", repro::render::sparkline_in(&ds, 0.0, hi));
+            if let Some(traces) = staged_rows(repro::exp75::staged_fig18(SEED), opts, &mut failed) {
+                let hi = traces
+                    .iter()
+                    .flat_map(|t| t.series.iter().cloned())
+                    .fold(0.0f64, f64::max);
+                for r in traces {
+                    println!("{r}");
+                    let ds = repro::render::downsample(&r.series, 64);
+                    println!("         {}", repro::render::sparkline_in(&ds, 0.0, hi));
+                }
             }
         }
         "fig19" | "fig20" => {
             header(name, "QoE vs throttled bandwidth sweep (§7.5)");
-            for r in campaign_rows(
-                repro::exp75::campaign_sweep(s.sweep_videos, SEED),
+            if let Some(rows) = staged_rows(
+                repro::exp75::staged_sweep(s.sweep_videos, SEED),
                 opts,
                 &mut failed,
             ) {
-                println!("{r}");
+                for r in rows {
+                    println!("{r}");
+                }
             }
         }
         "exp76" => {
             header(name, "Video ads and loading time (§7.6)");
-            for r in campaign_rows(repro::exp76::campaign(s.ad_reps, SEED), opts, &mut failed) {
-                println!("{r}");
+            if let Some(rows) =
+                staged_rows(repro::exp76::staged(s.ad_reps, SEED), opts, &mut failed)
+            {
+                for r in rows {
+                    println!("{r}");
+                }
             }
         }
         "ablation" => {
@@ -327,27 +482,31 @@ fn run(name: &str, opts: &Opts) -> usize {
                 name,
                 "Ablations: mapper mechanisms, calibration, throttle discipline",
             );
-            let parts = campaign_rows(
-                repro::ablation::campaign(s.post_reps.min(8), s.accuracy_reps, 128e3, SEED),
+            if let Some(parts) = staged_rows(
+                repro::ablation::staged(s.post_reps.min(8), s.accuracy_reps, 128e3, SEED),
                 opts,
                 &mut failed,
-            );
-            for part in parts {
-                match &part {
-                    repro::ablation::AblationPart::Mapper(_) => {
-                        println!("-- long-jump mapper resync mechanisms --")
+            ) {
+                for part in parts {
+                    match &part {
+                        repro::ablation::AblationPart::Mapper(_) => {
+                            println!("-- long-jump mapper resync mechanisms --")
+                        }
+                        repro::ablation::AblationPart::Calibration(_) => {
+                            println!("-- §5.1 calibration --")
+                        }
+                        repro::ablation::AblationPart::Discipline(_) => {
+                            println!("-- token-bucket discipline at 128 kb/s on LTE --")
+                        }
                     }
-                    repro::ablation::AblationPart::Calibration(_) => {
-                        println!("-- §5.1 calibration --")
-                    }
-                    repro::ablation::AblationPart::Discipline(_) => {
-                        println!("-- token-bucket discipline at 128 kb/s on LTE --")
-                    }
+                    println!("{}", part.row());
                 }
-                println!("{}", part.row());
             }
         }
         "chaos" => {
+            if !matches!(opts.mode, RunMode::Inline) {
+                usage_error("chaos does not support record/analyze/cache (it must run inline)");
+            }
             header(name, "Fault injection: QoE deltas + layer attribution");
             let rows = campaign_rows(repro::chaos::campaign(SEED), opts, &mut failed);
             let misses = rows
@@ -365,16 +524,25 @@ fn run(name: &str, opts: &Opts) -> usize {
         }
         "exp77" => {
             header(name, "RRC state machine design and page loads (§7.7)");
-            let rows = campaign_rows(repro::exp77::campaign(s.page_reps, SEED), opts, &mut failed);
-            for r in &rows {
-                println!("{r}");
+            if let Some(rows) =
+                staged_rows(repro::exp77::staged(s.page_reps, SEED), opts, &mut failed)
+            {
+                for r in &rows {
+                    println!("{r}");
+                }
+                println!(
+                    "3G simplification reduces page load time by {:.1}% (paper: 22.8%)",
+                    repro::exp77::reduction_percent(&rows)
+                );
             }
-            println!(
-                "3G simplification reduces page load time by {:.1}% (paper: 22.8%)",
-                repro::exp77::reduction_percent(&rows)
-            );
         }
-        other => usage_error(&format!("unknown experiment: {other}")),
+        other => {
+            let mut msg = format!("unknown experiment: {other}");
+            if let Some(suggestion) = repro::cli::closest_experiment(other) {
+                msg.push_str(&format!(" (did you mean `{suggestion}`?)"));
+            }
+            usage_error(&msg);
+        }
     }
     failed
 }

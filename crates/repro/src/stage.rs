@@ -1,0 +1,49 @@
+//! Staged-campaign helpers shared by the experiment modules.
+
+use trace::Digest;
+
+/// Content digest of one experiment cell's configuration: everything
+/// besides the seed that shapes what the cell's record stage simulates.
+///
+/// The digest keys the cell's on-disk bundle (together with the seed and
+/// the trace format version), so it must cover the *effective* scale
+/// parameters — a bundle recorded with `--quick` then analyzed at full
+/// scale is detected as stale instead of silently producing wrong rows.
+/// Scalar parameters go in `params`; the campaign and label strings cover
+/// the categorical dimensions (network kind, app version, post kind, …).
+pub fn config_digest(campaign: &str, label: &str, params: &[u64]) -> u64 {
+    let mut d = Digest::new().str(campaign).str(label);
+    for p in params {
+        d = d.u64(*p);
+    }
+    d.finish()
+}
+
+/// Like [`config_digest`] with an extra float parameter (throttle rates).
+pub fn config_digest_rate(campaign: &str, label: &str, params: &[u64], rate: f64) -> u64 {
+    Digest::new()
+        .u64(config_digest(campaign, label, params))
+        .f64(rate)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_separates_scales_and_labels() {
+        let quick = config_digest("fig17", "LTE", &[4]);
+        let full = config_digest("fig17", "LTE", &[24]);
+        assert_ne!(quick, full, "scale must change the digest");
+        assert_ne!(
+            config_digest("fig17", "LTE", &[4]),
+            config_digest("fig17", "3G", &[4])
+        );
+        assert_eq!(quick, config_digest("fig17", "LTE", &[4]));
+        assert_ne!(
+            config_digest_rate("fig19_20", "LTE", &[2], 100e3),
+            config_digest_rate("fig19_20", "LTE", &[2], 200e3)
+        );
+    }
+}

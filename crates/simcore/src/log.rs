@@ -18,7 +18,7 @@ pub struct Stamped<T> {
 }
 
 /// An append-only log of timestamped records, kept in arrival order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecordLog<T> {
     entries: Vec<Stamped<T>>,
 }
@@ -44,6 +44,18 @@ impl<T> RecordLog<T> {
         RecordLog {
             entries: Vec::with_capacity(cap),
         }
+    }
+
+    /// Rebuild a log from already-stamped records (a decoder restoring a
+    /// persisted log). Entries must be in non-decreasing time order; this
+    /// is asserted in debug builds, mirroring [`RecordLog::push`] —
+    /// decoders are expected to have validated order structurally first.
+    pub fn from_entries(entries: Vec<Stamped<T>>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].at <= w[1].at),
+            "records must be in time order"
+        );
+        RecordLog { entries }
     }
 
     /// Ensure space for at least `additional` more records.

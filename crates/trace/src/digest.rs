@@ -1,0 +1,88 @@
+//! FNV-1a content digests.
+//!
+//! Bundles are content-addressed by a 64-bit digest of the inputs that
+//! fully determine a simulation (format version, seed, scenario
+//! configuration). FNV-1a is tiny, dependency-free, and deterministic
+//! across platforms — collision resistance beyond accidental corruption is
+//! not a goal here (bundles also carry the raw seed/config fields, which
+//! are compared on load).
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a hasher with a chainable API.
+///
+/// ```
+/// let key = trace::Digest::new().str("fig17").u64(42).finish();
+/// assert_eq!(key, trace::Digest::new().str("fig17").u64(42).finish());
+/// ```
+#[derive(Clone, Copy)]
+pub struct Digest(u64);
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest(FNV_OFFSET)
+    }
+}
+
+impl Digest {
+    /// Start a fresh digest.
+    pub fn new() -> Digest {
+        Digest::default()
+    }
+
+    /// Mix raw bytes.
+    pub fn bytes(mut self, b: &[u8]) -> Digest {
+        for &x in b {
+            self.0 ^= x as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Mix a `u64` (little-endian).
+    pub fn u64(self, v: u64) -> Digest {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Mix an `f64` via its bit pattern.
+    pub fn f64(self, v: f64) -> Digest {
+        self.u64(v.to_bits())
+    }
+
+    /// Mix a length-prefixed string (so `"ab"+"c"` ≠ `"a"+"bc"`).
+    pub fn str(self, s: &str) -> Digest {
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// The accumulated digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a over a byte slice (used for manifest file checksums).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    Digest::new().bytes(bytes).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_fold() {
+        let want = b"hello"
+            .iter()
+            .fold(FNV_OFFSET, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME));
+        assert_eq!(fnv1a(b"hello"), want);
+        assert_ne!(fnv1a(b"hello"), fnv1a(b"hellp"));
+    }
+
+    #[test]
+    fn length_prefix_disambiguates() {
+        let a = Digest::new().str("ab").str("c").finish();
+        let b = Digest::new().str("a").str("bc").finish();
+        assert_ne!(a, b);
+    }
+}

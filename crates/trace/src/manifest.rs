@@ -1,0 +1,285 @@
+//! The bundle manifest: a deterministic, line-oriented text file.
+//!
+//! ```text
+//! qoe-trace-bundle v1
+//! seed 20140705
+//! config 00c0ffee00c0ffee
+//! end_us 315000000
+//! scenario fig17/3G @128kbps
+//! artifact behavior behavior.bin 1234 a1b2c3d4e5f60718
+//! truth camera truth_camera.bin 555 0011223344556677
+//! sub shaping shaping
+//! ```
+//!
+//! Field lines are fixed-order (`seed`, `config`, `end_us`, `scenario`);
+//! entry lines follow in write order. `artifact` entries are what an
+//! analyzer may read; `truth` entries are evaluation-only ground truths
+//! (per-PDU truth stream, camera screen log) that the artifact accessor
+//! refuses to serve — see the crate docs for why they are segregated.
+//! `sub` entries name nested bundles (used when one campaign job records
+//! several sessions). The manifest is written *last* so a crashed recorder
+//! leaves a directory without a manifest — unreadable — rather than a
+//! plausible-looking but incomplete bundle.
+
+use simcore::SimTime;
+
+use crate::error::TraceError;
+
+/// The bundle format version this build writes and reads.
+///
+/// Policy: any change to the manifest grammar, an artifact's framing, or a
+/// record's field layout bumps this constant; readers reject other versions
+/// outright ([`TraceError::BadVersion`]) instead of guessing. There is no
+/// cross-version migration — bundles are cheap to re-record.
+pub const FORMAT_VERSION: u16 = 1;
+
+const MAGIC_PREFIX: &str = "qoe-trace-bundle v";
+
+/// One file listed in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Logical artifact name (what callers ask for).
+    pub name: String,
+    /// File name inside the bundle directory.
+    pub file: String,
+    /// Exact file length in bytes.
+    pub bytes: u64,
+    /// FNV-1a 64 checksum of the file contents.
+    pub fnv: u64,
+}
+
+/// Parsed manifest contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Format version found in the header line.
+    pub format_version: u16,
+    /// Simulation seed the bundle was recorded with.
+    pub seed: u64,
+    /// Digest of the scenario configuration (experiment, scale, rates).
+    pub config_digest: u64,
+    /// Human-readable scenario id, e.g. `fig17/3G`.
+    pub scenario: String,
+    /// Simulated clock at the end of the recording.
+    pub end: SimTime,
+    /// Analyzer-visible artifacts.
+    pub artifacts: Vec<ManifestEntry>,
+    /// Evaluation-only ground truths.
+    pub truths: Vec<ManifestEntry>,
+    /// Nested bundles: `(name, directory)`.
+    pub subs: Vec<(String, String)>,
+}
+
+impl Manifest {
+    /// Render to the canonical text form (byte-deterministic).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{MAGIC_PREFIX}{}\n", self.format_version));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("config {:016x}\n", self.config_digest));
+        out.push_str(&format!("end_us {}\n", self.end.as_micros()));
+        out.push_str(&format!("scenario {}\n", self.scenario));
+        for (kind, entries) in [("artifact", &self.artifacts), ("truth", &self.truths)] {
+            for e in entries {
+                out.push_str(&format!(
+                    "{kind} {} {} {} {:016x}\n",
+                    e.name, e.file, e.bytes, e.fnv
+                ));
+            }
+        }
+        // Directory first: sub-bundle *names* are free text (campaign
+        // labels may contain spaces), so the name takes the rest of the
+        // line; directories are slugs and never contain spaces.
+        for (name, dir) in &self.subs {
+            out.push_str(&format!("sub {dir} {name}\n"));
+        }
+        out
+    }
+
+    /// Parse the canonical text form, reporting the offending line number
+    /// on failure.
+    pub fn parse(text: &str) -> Result<Manifest, TraceError> {
+        let mut lines = text.lines().enumerate();
+
+        let (_, magic) = lines.next().ok_or(TraceError::Manifest {
+            line: 1,
+            msg: "empty manifest".into(),
+        })?;
+        let version = magic
+            .strip_prefix(MAGIC_PREFIX)
+            .ok_or_else(|| TraceError::BadMagic(format!("manifest header {magic:?}")))?;
+        let format_version: u16 = version.parse().map_err(|_| TraceError::Manifest {
+            line: 1,
+            msg: format!("unparseable version {version:?}"),
+        })?;
+        if format_version != FORMAT_VERSION {
+            return Err(TraceError::BadVersion {
+                found: format_version,
+                expected: FORMAT_VERSION,
+            });
+        }
+
+        let mut field = |want: &str| -> Result<(usize, String), TraceError> {
+            let (i, line) = lines.next().ok_or(TraceError::Manifest {
+                line: 0,
+                msg: format!("missing {want} line"),
+            })?;
+            let lineno = i + 1;
+            match line.split_once(' ') {
+                Some((k, v)) if k == want => Ok((lineno, v.to_string())),
+                _ => Err(TraceError::Manifest {
+                    line: lineno,
+                    msg: format!("expected '{want} <value>', found {line:?}"),
+                }),
+            }
+        };
+
+        let (ln, seed) = field("seed")?;
+        let seed: u64 = seed.parse().map_err(|_| TraceError::Manifest {
+            line: ln,
+            msg: format!("unparseable seed {seed:?}"),
+        })?;
+        let (ln, config) = field("config")?;
+        let config_digest = u64::from_str_radix(&config, 16).map_err(|_| TraceError::Manifest {
+            line: ln,
+            msg: format!("unparseable config digest {config:?}"),
+        })?;
+        let (ln, end_us) = field("end_us")?;
+        let end_us: u64 = end_us.parse().map_err(|_| TraceError::Manifest {
+            line: ln,
+            msg: format!("unparseable end_us {end_us:?}"),
+        })?;
+        let (_, scenario) = field("scenario")?;
+
+        let mut m = Manifest {
+            format_version,
+            seed,
+            config_digest,
+            scenario,
+            end: SimTime::from_micros(end_us),
+            artifacts: Vec::new(),
+            truths: Vec::new(),
+            subs: Vec::new(),
+        };
+
+        for (i, line) in lines {
+            let lineno = i + 1;
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("sub ") {
+                match rest.split_once(' ') {
+                    Some((dir, name)) => {
+                        m.subs.push((name.to_string(), dir.to_string()));
+                        continue;
+                    }
+                    None => {
+                        return Err(TraceError::Manifest {
+                            line: lineno,
+                            msg: format!("expected 'sub <dir> <name>', found {line:?}"),
+                        })
+                    }
+                }
+            }
+            let parts: Vec<&str> = line.split(' ').collect();
+            match parts.as_slice() {
+                [kind @ ("artifact" | "truth"), name, file, bytes, fnv] => {
+                    let bytes: u64 = bytes.parse().map_err(|_| TraceError::Manifest {
+                        line: lineno,
+                        msg: format!("unparseable byte count {bytes:?}"),
+                    })?;
+                    let fnv = u64::from_str_radix(fnv, 16).map_err(|_| TraceError::Manifest {
+                        line: lineno,
+                        msg: format!("unparseable checksum {fnv:?}"),
+                    })?;
+                    let entry = ManifestEntry {
+                        name: name.to_string(),
+                        file: file.to_string(),
+                        bytes,
+                        fnv,
+                    };
+                    if *kind == "artifact" {
+                        m.artifacts.push(entry);
+                    } else {
+                        m.truths.push(entry);
+                    }
+                }
+                _ => {
+                    return Err(TraceError::Manifest {
+                        line: lineno,
+                        msg: format!("unrecognized entry {line:?}"),
+                    })
+                }
+            }
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            format_version: FORMAT_VERSION,
+            seed: 20140705,
+            config_digest: 0xdead_beef_0042_0042,
+            scenario: "fig17/3G @128 kbps".into(),
+            end: SimTime::from_micros(315_000_000),
+            artifacts: vec![ManifestEntry {
+                name: "behavior".into(),
+                file: "behavior.bin".into(),
+                bytes: 77,
+                fnv: 0x0123_4567_89ab_cdef,
+            }],
+            truths: vec![ManifestEntry {
+                name: "camera".into(),
+                file: "truth_camera.bin".into(),
+                bytes: 3,
+                fnv: 1,
+            }],
+            subs: vec![("shaping".into(), "shaping".into())],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let m = sample();
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+    }
+
+    #[test]
+    fn scenario_may_contain_spaces() {
+        let m = Manifest::parse(&sample().render()).unwrap();
+        assert_eq!(m.scenario, "fig17/3G @128 kbps");
+    }
+
+    #[test]
+    fn wrong_version_is_structured() {
+        let text = sample().render().replace("bundle v1", "bundle v9");
+        assert!(matches!(
+            Manifest::parse(&text),
+            Err(TraceError::BadVersion {
+                found: 9,
+                expected: FORMAT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_manifest_is_structured() {
+        let full = sample().render();
+        let cut = &full[..full.find("scenario").unwrap()];
+        let err = Manifest::parse(cut).unwrap_err();
+        assert!(matches!(err, TraceError::Manifest { .. }), "{err}");
+    }
+
+    #[test]
+    fn garbage_entry_reports_line() {
+        let text = format!("{}what is this\n", sample().render());
+        match Manifest::parse(&text) {
+            Err(TraceError::Manifest { line, .. }) => assert_eq!(line, 9),
+            other => panic!("expected manifest error, got {other:?}"),
+        }
+    }
+}
