@@ -182,6 +182,21 @@ pub fn diagnose(record: &BehaviorRecord, col: &Collection) -> Diagnosis {
     }
 }
 
+/// Diagnose the longest behaviour-log wait (the wait the user felt most).
+///
+/// `:playback` summary records span whole sessions — they would always win
+/// the max — so they are skipped; the waits the user actually felt are the
+/// other records. Returns `None` when the collection holds no such record.
+/// This is the shared entry point the chaos campaign and the longitudinal
+/// monitor both attribute from.
+pub fn diagnose_worst(col: &Collection) -> Option<Diagnosis> {
+    col.behavior
+        .iter()
+        .filter(|(_, rec)| !rec.action.ends_with(":playback"))
+        .max_by_key(|(_, rec)| rec.raw())
+        .map(|(_, rec)| diagnose(rec, col))
+}
+
 impl Diagnosis {
     /// A one-line verdict: what dominated the wait.
     pub fn verdict(&self) -> String {

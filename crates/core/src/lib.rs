@@ -58,5 +58,5 @@ pub use collect::Collection;
 pub use controller::{
     ControlError, Controller, Measured, PlaybackReport, RetryPolicy, WaitCondition,
 };
-pub use diagnose::{diagnose, Diagnosis};
+pub use diagnose::{diagnose, diagnose_worst, Diagnosis};
 pub use replay::{InteractSpec, ReplaySpec, ReplayStep, WaitSpec};

@@ -176,6 +176,14 @@ pub enum FaultKind {
     },
     /// Slow rendering: draw delays are multiplied by `factor` in the
     /// window.
+    ///
+    /// Note the observable surface: the layout tree still mutates
+    /// immediately (the screen catches up one draw delay later), so this
+    /// degrades camera-derived metrics (Speed Index, frame cadence) but
+    /// does **not** move `WaitCondition`-measured UI latency. To inject a
+    /// device-side latency regression, stall the UI thread
+    /// ([`FaultKind::UiFreeze`]) or slow the app's processing config
+    /// instead.
     SlowDraw {
         /// When rendering degrades.
         window: Window,

@@ -25,8 +25,9 @@
 //! silently analyzed as something it is not.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use simcore::{SimDuration, SimTime};
 use trace::{BundleArtifact, BundleMeta, Digest, FORMAT_VERSION};
@@ -57,6 +58,8 @@ pub struct StageCounters {
     cache_hits: AtomicUsize,
     cache_misses: AtomicUsize,
     analyzed: AtomicUsize,
+    record_ns: AtomicU64,
+    analyze_ns: AtomicU64,
 }
 
 impl StageCounters {
@@ -67,7 +70,30 @@ impl StageCounters {
             cache_hits: AtomicUsize::new(0),
             cache_misses: AtomicUsize::new(0),
             analyzed: AtomicUsize::new(0),
+            record_ns: AtomicU64::new(0),
+            analyze_ns: AtomicU64::new(0),
         })
+    }
+
+    /// Time one record-stage invocation and fold its wall-clock into the
+    /// stage totals.
+    fn timed_record<A>(&self, record: impl FnOnce() -> A) -> A {
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let artifact = record();
+        self.record_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        artifact
+    }
+
+    /// Time one analyze-stage invocation likewise.
+    fn timed_analyze<A, T>(&self, artifact: &A, analyze: impl FnOnce(&A) -> T) -> T {
+        let t0 = Instant::now();
+        let row = analyze(artifact);
+        self.analyze_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.analyzed.fetch_add(1, Ordering::Relaxed);
+        row
     }
 
     pub(crate) fn snapshot(&self) -> StageStats {
@@ -77,6 +103,8 @@ impl StageCounters {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             analyzed: self.analyzed.load(Ordering::Relaxed),
+            record_wall_ns: self.record_ns.load(Ordering::Relaxed),
+            analyze_wall_ns: self.analyze_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -96,10 +124,20 @@ pub struct StageStats {
     pub cache_misses: usize,
     /// Jobs whose analyze closure ran.
     pub analyzed: usize,
+    /// Total wall-clock spent inside record closures, summed across jobs
+    /// (nanoseconds; host timing, therefore **nondeterministic** — it goes
+    /// to the JSON journal only, like the per-job `wall_ms`, and is
+    /// excluded from determinism byte-compares).
+    pub record_wall_ns: u64,
+    /// Total wall-clock spent inside analyze closures, summed across jobs
+    /// (nanoseconds; nondeterministic, JSON journal only).
+    pub analyze_wall_ns: u64,
 }
 
 impl StageStats {
-    /// JSON form for the campaign report.
+    /// JSON form for the campaign report. The `*_wall_ms` fields are the
+    /// nondeterministic ones; determinism comparisons strip every
+    /// `wall_ms` line.
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("mode", Json::from(self.mode)),
@@ -107,6 +145,14 @@ impl StageStats {
             ("cache_hits", Json::from(self.cache_hits)),
             ("cache_misses", Json::from(self.cache_misses)),
             ("analyzed", Json::from(self.analyzed)),
+            (
+                "record_wall_ms",
+                Json::Num(self.record_wall_ns as f64 / 1e6),
+            ),
+            (
+                "analyze_wall_ms",
+                Json::Num(self.analyze_wall_ns as f64 / 1e6),
+            ),
         ])
     }
 }
@@ -304,10 +350,8 @@ impl<A: BundleArtifact + Send + 'static, T: Send + 'static> StagedCampaign<A, T>
                         ..
                     } = j;
                     let run = move || {
-                        counters.simulated.fetch_add(1, Ordering::Relaxed);
-                        let artifact = record();
-                        counters.analyzed.fetch_add(1, Ordering::Relaxed);
-                        analyze(&artifact)
+                        let artifact = counters.timed_record(record);
+                        counters.timed_analyze(&artifact, analyze)
                     };
                     match sim_secs {
                         Some(s) => c.timed_job(label, seed, s, run),
@@ -349,9 +393,7 @@ impl<A: BundleArtifact + Send + 'static, T: Send + 'static> StagedCampaign<A, T>
                             return Err(format!("bundle {} is stale: {e}", dir.display()));
                         }
                         counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-                        let row = analyze(&artifact);
-                        counters.analyzed.fetch_add(1, Ordering::Relaxed);
-                        Ok(row)
+                        Ok(counters.timed_analyze(&artifact, analyze))
                     };
                     match sim_secs {
                         Some(s) => {
@@ -400,17 +442,14 @@ impl<A: BundleArtifact + Send + 'static, T: Send + 'static> StagedCampaign<A, T>
                                         format!("cannot clear stale bundle {}: {e}", dir.display())
                                     })?;
                                 }
-                                counters.simulated.fetch_add(1, Ordering::Relaxed);
-                                let artifact = record();
+                                let artifact = counters.timed_record(record);
                                 artifact.save_bundle(&dir, &want).map_err(|e| {
                                     format!("cannot save bundle {}: {e}", dir.display())
                                 })?;
                                 artifact
                             }
                         };
-                        let row = analyze(&artifact);
-                        counters.analyzed.fetch_add(1, Ordering::Relaxed);
-                        Ok(row)
+                        Ok(counters.timed_analyze(&artifact, analyze))
                     };
                     c.fallible_job(label, seed, 1, run);
                     if let Some(s) = sim_secs {
@@ -455,8 +494,7 @@ impl<A: BundleArtifact + Send + 'static, T: Send + 'static> StagedCampaign<A, T>
             let mut record = Some(record);
             let run = move |_attempt: u32| -> Result<BundleRow, String> {
                 let record = record.take().expect("record ran twice");
-                counters.simulated.fetch_add(1, Ordering::Relaxed);
-                let artifact = record();
+                let artifact = counters.timed_record(record);
                 if dir.exists() {
                     std::fs::remove_dir_all(&dir)
                         .map_err(|e| format!("cannot clear {}: {e}", dir.display()))?;
@@ -548,6 +586,29 @@ mod tests {
         assert_eq!(stats.analyzed, 3);
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(run.into_outputs(), vec!["value=0", "value=10", "value=20"]);
+    }
+
+    #[test]
+    fn stage_wall_clock_accumulates_per_stage() {
+        let run = staged(3).into_campaign(&StageMode::Inline).run(2);
+        let stats = run.stages.unwrap();
+        // Three record and three analyze invocations ran; each took > 0 ns.
+        assert!(stats.record_wall_ns > 0, "{stats:?}");
+        assert!(stats.analyze_wall_ns > 0, "{stats:?}");
+        let json = stats.to_json().pretty();
+        assert!(json.contains("\"record_wall_ms\""), "{json}");
+        assert!(json.contains("\"analyze_wall_ms\""), "{json}");
+
+        // Analyze-only mode spends no record wall-clock at all.
+        let root = tmp("walls");
+        staged(3).into_record_campaign(&root).run(1);
+        let an = staged(3)
+            .into_campaign(&StageMode::Analyze(root.clone()))
+            .run(1);
+        let stats = an.stages.unwrap();
+        assert_eq!(stats.record_wall_ns, 0, "analyze mode never records");
+        assert!(stats.analyze_wall_ns > 0);
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]

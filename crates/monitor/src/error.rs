@@ -1,0 +1,101 @@
+//! Structured errors for the monitoring subsystem.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use trace::TraceError;
+
+/// Everything that can go wrong while reading or growing a run history.
+#[derive(Debug)]
+pub enum MonitorError {
+    /// Filesystem failure underneath the store.
+    Io {
+        /// Path the operation touched.
+        path: PathBuf,
+        /// Rendered `std::io::Error`.
+        source: String,
+    },
+    /// An index file failed validation (bad header, bad checksum, torn
+    /// line, non-contiguous epochs).
+    Corrupt {
+        /// Index file.
+        path: PathBuf,
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The index was written by an incompatible store version.
+    Version {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// An append would contradict history already in the index: the epoch
+    /// store is append-only, so a re-recorded epoch must match its original
+    /// identity exactly.
+    HistoryRewritten {
+        /// Cell whose history conflicted.
+        cell: String,
+        /// Epoch the conflict was detected at.
+        epoch: usize,
+        /// What differed.
+        reason: String,
+    },
+    /// An index entry points at a bundle that is missing or unreadable.
+    Bundle {
+        /// Bundle directory from the index entry.
+        dir: PathBuf,
+        /// The underlying trace-layer error.
+        source: TraceError,
+    },
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::Io { path, source } => {
+                write!(f, "monitor store i/o at {}: {source}", path.display())
+            }
+            MonitorError::Corrupt { path, line, reason } => {
+                write!(
+                    f,
+                    "corrupt epoch index {} line {line}: {reason}",
+                    path.display()
+                )
+            }
+            MonitorError::Version { found, expected } => {
+                write!(
+                    f,
+                    "epoch index version {found} (this build reads {expected})"
+                )
+            }
+            MonitorError::HistoryRewritten {
+                cell,
+                epoch,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "append-only history violated for cell {cell} epoch {epoch}: {reason}"
+                )
+            }
+            MonitorError::Bundle { dir, source } => {
+                write!(f, "epoch bundle {}: {source}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl MonitorError {
+    /// Wrap an `io::Error` with the path it hit.
+    pub fn io(path: &std::path::Path, e: std::io::Error) -> MonitorError {
+        MonitorError::Io {
+            path: path.to_path_buf(),
+            source: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Rank and change-point statistics for longitudinal regression detection.
+//!
+//! Three tools, all distribution-free (per-epoch QoE metrics are skewed and
+//! often heavy-tied, so parametric tests are out):
+//!
+//! * [`mann_whitney_u`] — the Mann–Whitney U rank test comparing the pooled
+//!   pre-change samples against the pooled post-change samples, with
+//!   midranks for ties, the tie-corrected normal approximation, and a
+//!   continuity correction. This is the significance gate.
+//! * [`ks_distance`] — the two-sample Kolmogorov–Smirnov statistic
+//!   `sup_x |F_a(x) − F_b(x)|`. This is the effect-shape gate: a
+//!   significant-but-tiny shift has a small D, a genuine regression where
+//!   the distributions barely overlap pushes D toward 1.
+//! * [`cusum_change_point`] — a CUSUM scan over the per-epoch means that
+//!   locates *where* the level shifted: the epoch after the peak of the
+//!   cumulative deviation from the overall mean. This names the first bad
+//!   epoch.
+//!
+//! Everything here is pure `f64` arithmetic over finite inputs —
+//! deterministic across worker counts and platforms, which is what lets
+//! `repro monitor` promise byte-identical output at any `--jobs`.
+
+use simcore::midranks;
+
+/// Result of a two-sided Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MwuResult {
+    /// The U statistic of the *first* sample (number of pairs `(a, b)` with
+    /// `a > b`, counting ties as ½).
+    pub u: f64,
+    /// Tie-corrected, continuity-corrected normal deviate.
+    pub z: f64,
+    /// Two-sided p-value from the normal approximation; 1.0 for degenerate
+    /// inputs (an empty side, or every pooled sample identical).
+    pub p: f64,
+}
+
+/// Two-sided Mann–Whitney U test of `a` vs `b`.
+///
+/// Uses the rank-sum formulation with midranks for ties, the tie-corrected
+/// variance, and a 0.5 continuity correction. Degenerate inputs — either
+/// side empty, or a pooled sample with zero tie-corrected variance (all
+/// values identical) — return `p = 1.0`: no evidence of a shift is the only
+/// honest answer a rank test can give there.
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MwuResult {
+    let (n1, n2) = (a.len() as f64, b.len() as f64);
+    if a.is_empty() || b.is_empty() {
+        return MwuResult {
+            u: 0.0,
+            z: 0.0,
+            p: 1.0,
+        };
+    }
+    let mut pooled: Vec<f64> = Vec::with_capacity(a.len() + b.len());
+    pooled.extend_from_slice(a);
+    pooled.extend_from_slice(b);
+    let ranks = midranks(&pooled);
+    let r1: f64 = ranks[..a.len()].iter().sum();
+    // U of sample a via the rank-sum identity.
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+    let n = n1 + n2;
+
+    // Tie correction: sum of (t^3 - t) over tie groups of the pooled sample.
+    let mut sorted = pooled.clone();
+    sorted.sort_by(|x, y| x.partial_cmp(y).expect("NaN sample"));
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i) as f64;
+        tie_term += t * t * t - t;
+        i = j;
+    }
+    let var = n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if var <= 0.0 {
+        // Every pooled value identical: no ordering information at all.
+        return MwuResult {
+            u: u1,
+            z: 0.0,
+            p: 1.0,
+        };
+    }
+    let mean = n1 * n2 / 2.0;
+    // Continuity correction toward the mean.
+    let diff = u1 - mean;
+    let corrected = if diff > 0.0 {
+        diff - 0.5
+    } else if diff < 0.0 {
+        diff + 0.5
+    } else {
+        0.0
+    };
+    let z = corrected / var.sqrt();
+    MwuResult {
+        u: u1,
+        z,
+        p: (2.0 * normal_sf(z.abs())).min(1.0),
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov distance `sup_x |F_a(x) − F_b(x)|`.
+///
+/// Merge-scans the two sorted samples in `O((n+m) log(n+m))`; ties are
+/// handled by advancing both empirical CDFs past the tied value before
+/// comparing. Returns 0.0 when either sample is empty (no evidence).
+pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN sample"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN sample"));
+    let (n, m) = (sa.len(), sb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n && j < m {
+        let x = sa[i].min(sb[j]);
+        while i < n && sa[i] == x {
+            i += 1;
+        }
+        while j < m && sb[j] == x {
+            j += 1;
+        }
+        let fa = i as f64 / n as f64;
+        let fb = j as f64 / m as f64;
+        d = d.max((fa - fb).abs());
+    }
+    // Once one side is exhausted its CDF is 1; the other side's remaining
+    // steps only shrink the gap, so the scan above already saw the sup.
+    d
+}
+
+/// Result of a CUSUM change-point scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CusumResult {
+    /// Index of the first epoch *after* the shift — the first bad epoch.
+    /// Always in `1..len` for a non-degenerate series.
+    pub change_point: usize,
+    /// Peak |cumulative deviation| normalized by `σ·√n` (a unitless shift
+    /// magnitude; ~0 for a steady series, grows with both the size and the
+    /// persistence of the level shift). 0.0 for degenerate series.
+    pub magnitude: f64,
+}
+
+/// CUSUM change-point scan over a per-epoch series (typically epoch means).
+///
+/// Computes `S_k = Σ_{i≤k} (x_i − x̄)` and places the change point after
+/// the `k` maximizing `|S_k|` — the classic interpretation: the cumulative
+/// deviation drifts steadily until the level shifts, then turns around.
+/// Returns `None` for series shorter than 2 epochs or with zero variance.
+pub fn cusum_change_point(series: &[f64]) -> Option<CusumResult> {
+    if series.len() < 2 {
+        return None;
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    if var <= 0.0 {
+        return None;
+    }
+    let mut s = 0.0;
+    let mut peak = 0.0f64;
+    let mut at = 0usize;
+    // Only interior prefixes can split the series into two non-empty parts.
+    for (k, x) in series[..series.len() - 1].iter().enumerate() {
+        s += x - mean;
+        if s.abs() > peak {
+            peak = s.abs();
+            at = k;
+        }
+    }
+    Some(CusumResult {
+        change_point: at + 1,
+        magnitude: peak / (var.sqrt() * n.sqrt()),
+    })
+}
+
+/// Standard normal survival function `P(Z > z)` via the complementary
+/// error function (Abramowitz–Stegun 7.1.26 polynomial, |ε| < 1.5e-7 —
+/// far below any threshold the detector uses).
+pub fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    let sign_neg = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let v = poly * (-x * x).exp();
+    if sign_neg {
+        2.0 - v
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mwu_separated_samples_are_significant() {
+        let a = [1.0, 1.1, 1.2, 0.9, 1.05, 1.15, 0.95, 1.0, 1.1];
+        let b = [3.0, 3.2, 2.9, 3.1, 3.05, 3.3, 2.95, 3.15, 3.0];
+        let r = mann_whitney_u(&a, &b);
+        assert!(r.p < 1e-3, "complete separation must be significant: {r:?}");
+        assert_eq!(r.u, 0.0, "no pair has a > b");
+    }
+
+    #[test]
+    fn mwu_identical_samples_are_not() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = mann_whitney_u(&a, &a);
+        assert!(r.p > 0.9, "same distribution: {r:?}");
+    }
+
+    #[test]
+    fn mwu_degenerate_inputs() {
+        assert_eq!(mann_whitney_u(&[], &[1.0]).p, 1.0);
+        assert_eq!(mann_whitney_u(&[1.0], &[]).p, 1.0);
+        // All-ties pooled sample has zero rank variance.
+        assert_eq!(mann_whitney_u(&[2.0, 2.0], &[2.0, 2.0, 2.0]).p, 1.0);
+    }
+
+    #[test]
+    fn ks_basics() {
+        assert_eq!(ks_distance(&[], &[1.0]), 0.0);
+        assert_eq!(ks_distance(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        // Disjoint supports: D = 1.
+        assert_eq!(ks_distance(&[1.0, 2.0], &[5.0, 6.0]), 1.0);
+        // Half-shifted.
+        let d = ks_distance(&[1.0, 2.0, 3.0, 4.0], &[3.0, 4.0, 5.0, 6.0]);
+        assert!((d - 0.5).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn cusum_finds_the_shift() {
+        let series = [1.0, 1.1, 0.9, 1.0, 3.0, 3.1, 2.9, 3.0];
+        let r = cusum_change_point(&series).unwrap();
+        assert_eq!(r.change_point, 4);
+        assert!(r.magnitude > 0.5, "{r:?}");
+    }
+
+    #[test]
+    fn cusum_degenerate() {
+        assert!(cusum_change_point(&[]).is_none());
+        assert!(cusum_change_point(&[1.0]).is_none());
+        assert!(cusum_change_point(&[2.0, 2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn normal_sf_reference_points() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_sf(1.96) - 0.0249979).abs() < 1e-4);
+        assert!((normal_sf(3.0) - 0.0013499).abs() < 1e-5);
+    }
+}

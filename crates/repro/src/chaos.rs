@@ -19,7 +19,7 @@ use device::{UiEvent, ViewSignature};
 use faults::{FaultKind, FaultLayer, FaultPlan, Window};
 use harness::{Campaign, Json, Record};
 use netstack::GilbertElliott;
-use qoe_doctor::{diagnose, Collection, ControlError, Controller, RetryPolicy, WaitCondition};
+use qoe_doctor::{diagnose_worst, ControlError, Controller, RetryPolicy, WaitCondition};
 use radio::{RadioTech, RrcState};
 use simcore::{SimDuration, SimTime};
 
@@ -135,17 +135,6 @@ fn attribute(crashes: u32, ui_frozen: bool, worst: Option<&qoe_doctor::Diagnosis
     "device"
 }
 
-/// Diagnose the longest behaviour-log wait (the wait the user felt most).
-fn worst_diagnosis(col: &Collection) -> Option<qoe_doctor::Diagnosis> {
-    col.behavior
-        .iter()
-        // `:playback` summaries span whole sessions (they would always win
-        // the max); the waits the user actually felt are the other records.
-        .filter(|(_, rec)| !rec.action.ends_with(":playback"))
-        .max_by_key(|(_, rec)| rec.raw())
-        .map(|(_, rec)| diagnose(rec, col))
-}
-
 const VIDEO_NAME: &str = "chaosvid";
 
 fn search_events() -> [UiEvent; 2] {
@@ -248,7 +237,7 @@ pub fn video_cell(
 
     let crashes = doctor.world.phone.crashes;
     let col = doctor.collect();
-    let worst = worst_diagnosis(&col);
+    let worst = diagnose_worst(&col);
     let attributed = attribute(crashes, ui_frozen, worst.as_ref());
     // Report the worst user wait in the cell — a fault that spares the
     // initial loading still shows up through its rebuffer records.
@@ -320,7 +309,7 @@ pub fn page_cell(
 
     let crashes = doctor.world.phone.crashes;
     let col = doctor.collect();
-    let worst = worst_diagnosis(&col);
+    let worst = diagnose_worst(&col);
     let attributed = attribute(crashes, ui_frozen, worst.as_ref());
     ChaosRow {
         scenario: "page",

@@ -1,11 +1,58 @@
-//! CLI helpers: experiment-name matching for friendlier usage errors.
+//! CLI helpers: the experiment index (`repro list`) and experiment-name
+//! matching for friendlier usage errors.
 
-/// Every experiment id the binary accepts (including aliases).
-pub const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "exp76", "exp77", "ablation",
-    "chaos", "bench", "all",
+/// Every experiment id the binary accepts (including aliases), with a
+/// one-line description. This is the single source of truth for both
+/// `repro list` and the closest-match suggestion on typos.
+pub const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "Replayed behaviours and latency anchors"),
+    ("table2", "Experiment goals"),
+    ("table3", "Tool accuracy and overhead (§7.1)"),
+    ("fig6", "Alias of table3: accuracy and overhead (§7.1)"),
+    ("fig7", "Post uploading: device vs network delay (§7.2)"),
+    (
+        "fig8",
+        "Fine-grained network latency of a 2-photo post (§7.2)",
+    ),
+    ("fig10", "Background data vs post frequency (§7.3)"),
+    ("fig11", "Background energy vs post frequency (§7.3)"),
+    ("fig12", "Background data vs refresh interval (§7.3)"),
+    ("fig13", "Background energy vs refresh interval (§7.3)"),
+    (
+        "fig14",
+        "News feed update latency, WebView vs ListView (§7.4)",
+    ),
+    ("fig15", "Feed update device/network breakdown (§7.4)"),
+    ("fig16", "Network data per feed update (§7.4)"),
+    ("fig17", "Throttled vs unthrottled video QoE (§7.5)"),
+    ("fig18", "Shaping vs policing throughput signature (§7.5)"),
+    ("fig19", "Rebuffering vs throttled bandwidth sweep (§7.5)"),
+    (
+        "fig20",
+        "Initial loading vs throttled bandwidth sweep (§7.5)",
+    ),
+    ("exp76", "Video ads and loading time (§7.6)"),
+    ("exp77", "RRC state machine design and page loads (§7.7)"),
+    (
+        "ablation",
+        "Mapper, calibration and throttle-discipline ablations",
+    ),
+    ("chaos", "Fault injection: QoE deltas + layer attribution"),
+    (
+        "monitor",
+        "Longitudinal monitoring: epoch regressions + layer attribution",
+    ),
+    ("bench", "Hot-path performance snapshot (BENCH JSON)"),
+    ("list", "Print this experiment index"),
+    ("all", "Every experiment above at the requested scale"),
 ];
+
+/// Print the experiment index, one `id  description` line per entry.
+pub fn print_list() {
+    for (name, desc) in EXPERIMENTS {
+        println!("{name:<10} {desc}");
+    }
+}
 
 /// Levenshtein edit distance (insert/delete/substitute, unit costs).
 fn edit_distance(a: &str, b: &str) -> usize {
@@ -31,7 +78,7 @@ fn edit_distance(a: &str, b: &str) -> usize {
 pub fn closest_experiment(input: &str) -> Option<&'static str> {
     EXPERIMENTS
         .iter()
-        .map(|c| (edit_distance(input, c), *c))
+        .map(|(c, _)| (edit_distance(input, c), *c))
         .min_by_key(|(d, _)| *d)
         .filter(|(d, _)| *d <= 2 && *d < input.chars().count())
         .map(|(_, c)| c)
@@ -55,9 +102,22 @@ mod tests {
         assert_eq!(closest_experiment("tabel3"), Some("table3"));
         assert_eq!(closest_experiment("ablatoin"), Some("ablation"));
         assert_eq!(closest_experiment("chaoss"), Some("chaos"));
+        assert_eq!(closest_experiment("monitr"), Some("monitor"));
         // Nothing resembles this; no suggestion.
         assert_eq!(closest_experiment("zzzzzzzzz"), None);
         // Exact ids are obviously their own closest match.
         assert_eq!(closest_experiment("fig17"), Some("fig17"));
+    }
+
+    #[test]
+    fn index_has_descriptions_for_every_id() {
+        for (name, desc) in EXPERIMENTS {
+            assert!(!name.is_empty() && !desc.is_empty());
+        }
+        // Ids are unique.
+        let mut names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EXPERIMENTS.len());
     }
 }

@@ -16,6 +16,7 @@ pub mod exp74;
 pub mod exp75;
 pub mod exp76;
 pub mod exp77;
+pub mod monitor;
 pub mod records;
 pub mod render;
 pub mod scenario;

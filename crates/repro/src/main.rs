@@ -41,6 +41,7 @@ struct Scale {
     sweep_videos: usize,
     ad_reps: usize,
     page_reps: usize,
+    monitor_epochs: usize,
 }
 
 const FULL: Scale = Scale {
@@ -52,6 +53,7 @@ const FULL: Scale = Scale {
     sweep_videos: 6,
     ad_reps: 8,
     page_reps: 12,
+    monitor_epochs: 10,
 };
 
 const QUICK: Scale = Scale {
@@ -63,6 +65,7 @@ const QUICK: Scale = Scale {
     sweep_videos: 2,
     ad_reps: 2,
     page_reps: 3,
+    monitor_epochs: 6,
 };
 
 const SEED: u64 = 20140705;
@@ -74,7 +77,8 @@ usage: repro [experiment] [--quick] [--jobs N] [--json DIR] [--cache DIR]
 
 experiments:
   table1 table2 table3 fig6 fig7 fig8 fig10 fig11 fig12 fig13
-  fig14 fig15 fig16 fig17 fig18 fig19 fig20 exp76 exp77 ablation chaos all
+  fig14 fig15 fig16 fig17 fig18 fig19 fig20 exp76 exp77 ablation
+  chaos monitor all          (`repro list` prints one-line descriptions)
 
 subcommands:
   record       simulate and persist each campaign job's trace bundle under
@@ -83,8 +87,11 @@ subcommands:
                output matches the inline run byte for byte
 
 other:
+  list         print every experiment id with a one-line description
   bench        hot-path performance snapshot; writes BENCH_pr3.json under
                the --json directory (default: results/)
+  monitor      longitudinal monitoring: re-measure a scenario grid over
+               epochs, detect QoE regressions, attribute them to a layer
 
 flags:
   --quick      reduced repetition counts (CI scale)
@@ -92,6 +99,9 @@ flags:
   --json DIR   write machine-readable campaign reports under DIR
   --out DIR    bundle root for `record`
   --cache DIR  content-addressed bundle cache: hits skip the simulation
+               (with `monitor`: also commits the epoch history index)
+  --epochs N   monitoring history length (monitor only; default 10, 6 with
+               --quick)
 ";
 
 /// How the record and analyze stages of each campaign are executed.
@@ -123,6 +133,7 @@ struct Opts {
     jobs: usize,
     json: Option<PathBuf>,
     mode: RunMode,
+    epochs: Option<usize>,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -133,6 +144,7 @@ fn usage_error(msg: &str) -> ! {
 fn parse_args(args: Vec<String>) -> (String, Opts) {
     let mut quick = false;
     let mut jobs: Option<usize> = None;
+    let mut epochs: Option<usize> = None;
     let mut json: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
     let mut cache: Option<PathBuf> = None;
@@ -157,6 +169,13 @@ fn parse_args(args: Vec<String>) -> (String, Opts) {
                 match v.parse::<usize>() {
                     Ok(n) if n > 0 => jobs = Some(n),
                     _ => usage_error(&format!("invalid --jobs value: {v:?}")),
+                }
+            }
+            "--epochs" => {
+                let v = value("--epochs");
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => epochs = Some(n),
+                    _ => usage_error(&format!("invalid --epochs value: {v:?}")),
                 }
             }
             "--json" => json = Some(PathBuf::from(value("--json"))),
@@ -220,6 +239,7 @@ fn parse_args(args: Vec<String>) -> (String, Opts) {
         jobs: jobs.unwrap_or_else(harness::default_workers),
         json,
         mode,
+        epochs,
     };
     (what, opts)
 }
@@ -330,7 +350,50 @@ fn run(name: &str, opts: &Opts) -> usize {
     let s = &opts.scale;
     let mut failed = 0usize;
     let recording = matches!(opts.mode, RunMode::Record(_));
+    if opts.epochs.is_some() && name != "monitor" {
+        usage_error("--epochs only applies to `monitor`");
+    }
     match name {
+        "list" => {
+            repro::cli::print_list();
+        }
+        "monitor" => {
+            if !matches!(opts.mode, RunMode::Inline | RunMode::Cached(_)) {
+                usage_error("monitor supports only inline and --cache runs");
+            }
+            header(
+                name,
+                "Longitudinal QoE monitoring: epoch regressions + attribution",
+            );
+            let epochs = opts.epochs.unwrap_or(s.monitor_epochs);
+            let spec = repro::monitor::spec(epochs, SEED);
+            let stage = opts.mode.stage_mode().expect("inline or cached");
+            let rows = campaign_rows(spec.build().into_campaign(&stage), opts, &mut failed);
+            for r in &rows {
+                println!("{}", r.row());
+            }
+            if rows.len() == spec.epochs * spec.cells.len() {
+                print!("{}", repro::monitor::report(rows));
+                if let RunMode::Cached(root) = &opts.mode {
+                    // The epoch-history index is longitudinal state, not
+                    // campaign output: report it on stderr so stdout stays
+                    // byte-identical across runs and worker counts.
+                    match repro::monitor::commit_history(&spec, root) {
+                        Ok(fresh) => eprintln!(
+                            "monitor: committed {fresh} new epoch entr{} to {}",
+                            if fresh == 1 { "y" } else { "ies" },
+                            root.join("index").display()
+                        ),
+                        Err(e) => {
+                            eprintln!("repro: epoch history commit failed: {e}");
+                            failed += 1;
+                        }
+                    }
+                }
+            } else {
+                eprintln!("repro: monitor history incomplete; skipping detection");
+            }
+        }
         "bench" => {
             if !matches!(opts.mode, RunMode::Inline) {
                 usage_error("bench does not support record/analyze/cache (it must run inline)");

@@ -27,7 +27,14 @@ pub enum NetKind {
     LteThrottled(f64),
     /// §7.7's simplified 3G RRC machine (direct PCH→DCH).
     Umts3gSimplified,
+    /// C1 3G after a carrier RRC timer change: the PCH→FACH promotion
+    /// takes [`SLOW_PCH_TO_FACH`] instead of the default 1.4 s (the
+    /// longitudinal-monitoring drift scenario).
+    Umts3gSlowPromo,
 }
+
+/// PCH→FACH promotion delay after the carrier's RRC timer change.
+pub const SLOW_PCH_TO_FACH: SimDuration = SimDuration::from_millis(4_400);
 
 impl NetKind {
     /// Short label for report rows.
@@ -39,6 +46,7 @@ impl NetKind {
             NetKind::Umts3gThrottled(r) => format!("3G-shaped@{}kbps", (r / 1e3) as u64),
             NetKind::LteThrottled(r) => format!("LTE-policed@{}kbps", (r / 1e3) as u64),
             NetKind::Umts3gSimplified => "3G-simplified".into(),
+            NetKind::Umts3gSlowPromo => "3G-slowpromo".into(),
         }
     }
 
@@ -63,6 +71,13 @@ impl NetKind {
             NetKind::Umts3gSimplified => {
                 let mut c = BearerConfig::umts_3g();
                 c.rrc = RrcConfig::Umts3g(Rrc3gConfig::simplified());
+                c
+            }
+            NetKind::Umts3gSlowPromo => {
+                let mut c = BearerConfig::umts_3g();
+                let mut rrc = Rrc3gConfig::default();
+                rrc.pch_to_fach = SLOW_PCH_TO_FACH;
+                c.rrc = RrcConfig::Umts3g(rrc);
                 c
             }
         };

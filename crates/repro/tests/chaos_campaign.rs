@@ -107,7 +107,7 @@ fn chaos_campaign_is_identical_for_1_and_4_workers() {
         report_json(run)
             .pretty()
             .lines()
-            .filter(|l| !l.contains("\"wall_ms\"") && !l.contains("\"workers\""))
+            .filter(|l| !l.contains("wall_ms") && !l.contains("\"workers\""))
             .collect::<Vec<_>>()
             .join("\n")
     };

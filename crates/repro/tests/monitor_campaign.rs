@@ -1,0 +1,107 @@
+//! End-to-end monitoring guarantees on a reduced real-simulation grid: the
+//! injected RRC-timer regression is detected at the right epoch and
+//! attributed to the radio layer, its control twin stays clean, rows are
+//! byte-identical at any worker count, and a cached run's bundles commit
+//! to the longitudinal epoch store (idempotently).
+//!
+//! Uses only the page cells — the cheapest pair — so the test stays fast;
+//! the full six-cell grid runs under `repro monitor` (see the CI
+//! monitor-smoke job).
+
+use harness::StageMode;
+use repro::monitor::{commit_history, report, spec};
+use std::path::PathBuf;
+
+const SEED: u64 = 20140705;
+const EPOCHS: usize = 6;
+
+/// The full grid, reduced to the 3G page cells (regression + control).
+fn page_spec() -> monitor::MonitorSpec<qoe_doctor::Collection> {
+    let mut s = spec(EPOCHS, SEED);
+    s.cells.retain(|c| c.cell.starts_with("page/"));
+    assert_eq!(s.cells.len(), 2);
+    s
+}
+
+#[test]
+fn rrc_timer_regression_is_detected_and_attributed() {
+    let rows = page_spec()
+        .build()
+        .into_campaign(&StageMode::Inline)
+        .run(2)
+        .into_outputs();
+    assert_eq!(rows.len(), 2 * EPOCHS);
+
+    let rendered = report(rows);
+    // The drift cell regresses at the midpoint, on the radio layer.
+    let detection = rendered
+        .lines()
+        .find(|l| l.starts_with("REGRESSION page/rrc-timers/3G"))
+        .expect("rrc-timer regression detected");
+    assert!(
+        detection.contains("first bad epoch 3"),
+        "wrong change point: {detection}"
+    );
+    assert!(
+        detection.contains("layer radio"),
+        "wrong layer: {detection}"
+    );
+    // The control twin stays clean.
+    assert!(
+        rendered.contains("ok         page/control/3G"),
+        "control flagged: {rendered}"
+    );
+    assert!(
+        rendered.contains("1/1 injected regressions detected and attributed on-layer"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("0 false positive(s) on 1 control cells"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn rows_are_identical_for_1_and_4_workers() {
+    let a = page_spec()
+        .build()
+        .into_campaign(&StageMode::Inline)
+        .run(1)
+        .into_outputs();
+    let b = page_spec()
+        .build()
+        .into_campaign(&StageMode::Inline)
+        .run(4)
+        .into_outputs();
+    assert_eq!(a, b);
+    assert_eq!(report(a), report(b));
+}
+
+#[test]
+fn cached_run_commits_to_the_epoch_store_idempotently() {
+    let root: PathBuf =
+        std::env::temp_dir().join(format!("repro-monitor-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let s = page_spec();
+    let run = s
+        .build()
+        .into_campaign(&StageMode::Cached(root.clone()))
+        .run(2);
+    assert_eq!(run.faulted() + run.failed(), 0);
+
+    // First commit indexes every cell×epoch bundle; a re-commit of the
+    // same history appends nothing.
+    assert_eq!(commit_history(&s, &root).unwrap(), 2 * EPOCHS);
+    assert_eq!(commit_history(&s, &root).unwrap(), 0);
+
+    // The store round-trips a recorded epoch back into an analyzable
+    // Collection whose metrics match the live run.
+    let store = monitor::EpochStore::open(&root).unwrap();
+    let entries = store.entries("page/rrc-timers/3G").unwrap();
+    assert_eq!(entries.len(), EPOCHS);
+    let col: qoe_doctor::Collection = store.load_epoch("page/rrc-timers/3G", &entries[0]).unwrap();
+    assert!(col.behavior.iter().any(|(_, r)| r.action == "page_load"));
+
+    let _ = std::fs::remove_dir_all(&root);
+}

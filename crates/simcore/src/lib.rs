@@ -31,5 +31,5 @@ pub use log::{RecordLog, Stamped};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use runner::{earlier, run_until, Tick};
-pub use stats::{percentile, percentile_sorted, BinSeries, Cdf, SortedSamples, Summary};
+pub use stats::{midranks, percentile, percentile_sorted, BinSeries, Cdf, SortedSamples, Summary};
 pub use time::{SimDuration, SimTime};

@@ -7,6 +7,14 @@
 use serde::{Deserialize, Serialize};
 
 /// Summary statistics over a set of f64 samples.
+///
+/// # Empty input
+///
+/// `Summary::of(&[])` (and merging only empty parts) is well-defined and
+/// returns the all-zero summary: `n = 0` and every statistic — mean,
+/// std_dev, min, max, median — equal to `0.0`. Callers must branch on
+/// `n == 0` before interpreting the other fields; a zero min/max of an
+/// empty set is a placeholder, not an observation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
     /// Number of samples.
@@ -167,6 +175,30 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
     percentile_sorted(&sorted, p)
+}
+
+/// Midranks of `samples`: element `i` of the result is the 1-based rank of
+/// `samples[i]` in ascending order, with tied values all assigned the mean
+/// of the ranks they occupy (the standard tie treatment for rank tests such
+/// as Mann–Whitney). Empty input yields an empty vector. Panics on NaN.
+pub fn midranks(samples: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    order.sort_by(|&a, &b| samples[a].partial_cmp(&samples[b]).expect("NaN sample"));
+    let mut ranks = vec![0.0; samples.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i + 1;
+        while j < order.len() && samples[order[j]] == samples[order[i]] {
+            j += 1;
+        }
+        // Ranks i+1 ..= j occupied by this tie group; assign their mean.
+        let rank = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = rank;
+        }
+        i = j;
+    }
+    ranks
 }
 
 /// An empirical CDF: sorted samples plus cumulative fractions.
@@ -374,6 +406,18 @@ mod tests {
         assert_eq!(pts.len(), 3);
         assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
         assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midranks_handle_ties() {
+        assert_eq!(midranks(&[]), Vec::<f64>::new());
+        assert_eq!(midranks(&[7.0]), vec![1.0]);
+        // Distinct values: plain 1-based ranks in value order.
+        assert_eq!(midranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+        // Tie group [2.0, 2.0] occupies ranks 2 and 3 -> both 2.5.
+        assert_eq!(midranks(&[2.0, 1.0, 2.0, 5.0]), vec![2.5, 1.0, 2.5, 4.0]);
+        // All tied: every rank is the mean of 1..=n.
+        assert_eq!(midranks(&[4.0, 4.0, 4.0]), vec![2.0, 2.0, 2.0]);
     }
 
     #[test]
